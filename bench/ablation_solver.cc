@@ -1,0 +1,109 @@
+// Ablation A6 — onion peeling's analytic feasibility test vs the LP route.
+//
+// The paper motivates onion peeling by noting that the LP formulation of
+// TAS (their earlier CoRa system) introduces per-job-per-slot decision
+// variables and degrades at scale.  This bench runs the same first-layer
+// max-min bisection with two interchangeable feasibility oracles — the
+// O(N log N) preemptive-EDF prefix check and the simplex LP over deadline
+// periods — and compares wall time.  Both oracles provably decide the same
+// question (tests/tas_lp_test.cc), so the achieved levels are identical.
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/lp/tas_lp.h"
+#include "src/utility/utility_function.h"
+
+namespace rush {
+namespace {
+
+struct Instance {
+  std::vector<std::unique_ptr<UtilityFunction>> utilities;
+  std::vector<double> etas;
+  ContainerCount capacity = 48;
+};
+
+Instance make_instance(int jobs, std::uint64_t seed) {
+  Instance inst;
+  Rng rng(seed);
+  for (int i = 0; i < jobs; ++i) {
+    const double budget = rng.uniform(60.0, 600.0);
+    inst.utilities.push_back(
+        std::make_unique<SigmoidUtility>(budget, rng.uniform(1.0, 5.0), 8.8 / (0.3 * budget)));
+    inst.etas.push_back(rng.uniform(200.0, 3000.0));
+  }
+  return inst;
+}
+
+template <typename Oracle>
+double max_min_level(const Instance& inst, Oracle&& feasible_at) {
+  double lo = 0.0;
+  double hi = 5.0;
+  while (hi - lo > 1e-2 * std::max(hi, 1e-3)) {
+    const double mid = 0.5 * (lo + hi);
+    std::vector<LpDeadlineJob> jobs;
+    bool reachable = true;
+    for (std::size_t i = 0; i < inst.etas.size(); ++i) {
+      const Seconds d = inst.utilities[i]->inverse(mid, 1e7);
+      if (d < 0.0) {
+        reachable = false;
+        break;
+      }
+      jobs.push_back({d, inst.etas[i]});
+    }
+    (reachable && feasible_at(jobs) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+void BM_MaxMinAnalytic(benchmark::State& state) {
+  const Instance inst = make_instance(static_cast<int>(state.range(0)), 31);
+  for (auto _ : state) {
+    const double level = max_min_level(inst, [&](const std::vector<LpDeadlineJob>& jobs) {
+      return edf_deadline_feasible(jobs, inst.capacity, 0.0);
+    });
+    benchmark::DoNotOptimize(level);
+  }
+}
+BENCHMARK(BM_MaxMinAnalytic)->Arg(10)->Arg(20)->Arg(50)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+void BM_MaxMinSimplexLp(benchmark::State& state) {
+  const Instance inst = make_instance(static_cast<int>(state.range(0)), 31);
+  for (auto _ : state) {
+    const double level = max_min_level(inst, [&](const std::vector<LpDeadlineJob>& jobs) {
+      return lp_deadline_feasible(jobs, inst.capacity, 0.0);
+    });
+    benchmark::DoNotOptimize(level);
+  }
+}
+BENCHMARK(BM_MaxMinSimplexLp)->Arg(10)->Arg(20)->Arg(50)->Unit(benchmark::kMillisecond);
+
+// Cross-validation under the bench harness: both oracles reach the same
+// max-min level.
+void BM_SolverAgreement(benchmark::State& state) {
+  for (auto _ : state) {
+    for (std::uint64_t seed : {1, 2, 3}) {
+      const Instance inst = make_instance(12, seed);
+      const double analytic =
+          max_min_level(inst, [&](const std::vector<LpDeadlineJob>& jobs) {
+            return edf_deadline_feasible(jobs, inst.capacity, 0.0);
+          });
+      const double lp = max_min_level(inst, [&](const std::vector<LpDeadlineJob>& jobs) {
+        return lp_deadline_feasible(jobs, inst.capacity, 0.0);
+      });
+      if (std::abs(analytic - lp) > 1e-6) {
+        state.SkipWithError("oracles reached different max-min levels");
+      }
+      benchmark::DoNotOptimize(analytic);
+    }
+  }
+}
+BENCHMARK(BM_SolverAgreement)->Iterations(3);
+
+}  // namespace
+}  // namespace rush
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Ablation A2 — micro-cost of the WCDE machinery.
+//
+// Compares the production path (prefix sums + binary-KL closed form +
+// bisection, DESIGN.md §5) against two progressively naive alternatives:
+//   - a linear scan over all candidate L values with the closed form,
+//   - a linear scan that materialises the full REM distribution
+//     (Algorithm 1) and evaluates KL directly per candidate.
+// All three return the same eta; the bench shows why the closed form plus
+// bisection is what makes per-event re-optimisation affordable.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/robust/rem.h"
+#include "src/robust/wcde.h"
+
+namespace rush {
+namespace {
+
+QuantizedPmf make_phi(std::size_t bins) {
+  return QuantizedPmf::gaussian(0.6 * static_cast<double>(bins), 0.08 * bins, bins, 1.0);
+}
+
+// Naive #1: linear scan, closed-form KL.  Mirrors solve_wcde's convention:
+// eta_bin counts the guaranteed bins [0, lo+1].
+std::size_t wcde_linear_scan(const QuantizedPmf& phi, double theta, double delta) {
+  const auto prefix = phi.prefix_cdf();
+  std::ptrdiff_t lo = -1;
+  for (std::size_t l = 0; l < phi.bins(); ++l) {
+    if (rem_min_kl(prefix[l], theta) <= delta) lo = static_cast<std::ptrdiff_t>(l);
+  }
+  const auto last = static_cast<std::ptrdiff_t>(phi.bins()) - 1;
+  return static_cast<std::size_t>(std::min(lo + 1, last)) + 1;
+}
+
+// Naive #2: linear scan, materialised REM distribution + direct KL.
+std::size_t wcde_materialized(const QuantizedPmf& phi, double theta, double delta) {
+  std::ptrdiff_t lo = -1;
+  for (std::size_t l = 0; l < phi.bins(); ++l) {
+    const RemResult rem = solve_rem(phi, l, theta);
+    const double kl = rem.worst_case.kl_divergence(phi);
+    if (kl <= delta) lo = static_cast<std::ptrdiff_t>(l);
+  }
+  const auto last = static_cast<std::ptrdiff_t>(phi.bins()) - 1;
+  return static_cast<std::size_t>(std::min(lo + 1, last)) + 1;
+}
+
+void BM_WcdeBisection(benchmark::State& state) {
+  const auto phi = make_phi(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_wcde(phi, 0.9, 0.7).eta_bin);
+  }
+}
+BENCHMARK(BM_WcdeBisection)->Arg(128)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_WcdeLinearScan(benchmark::State& state) {
+  const auto phi = make_phi(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wcde_linear_scan(phi, 0.9, 0.7));
+  }
+}
+BENCHMARK(BM_WcdeLinearScan)->Arg(128)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_WcdeMaterialized(benchmark::State& state) {
+  const auto phi = make_phi(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wcde_materialized(phi, 0.9, 0.7));
+  }
+}
+BENCHMARK(BM_WcdeMaterialized)->Arg(128)->Arg(256)->Arg(1024);
+
+// Sanity: all three methods agree (runs once under the bench harness).
+void BM_WcdeAgreement(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    std::vector<double> w(256);
+    for (auto& x : w) x = rng.uniform() + 1e-3;
+    const auto phi = QuantizedPmf::from_weights(w, 1.0);
+    const auto fast = solve_wcde(phi, 0.9, 0.7).eta_bin;
+    const auto slow = wcde_linear_scan(phi, 0.9, 0.7);
+    if (fast != slow) state.SkipWithError("bisection and scan disagree");
+    benchmark::DoNotOptimize(fast);
+  }
+}
+BENCHMARK(BM_WcdeAgreement)->Iterations(50);
+
+}  // namespace
+}  // namespace rush
+
+BENCHMARK_MAIN();

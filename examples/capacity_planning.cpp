@@ -1,0 +1,92 @@
+// Capacity planning with the admission-control API.
+//
+//   build/examples/capacity_planning
+//
+// The RUSH web UI (paper Fig 2) highlights jobs that cannot meet any useful
+// deadline and asks users to resubmit.  This example closes that loop
+// programmatically: given a cluster already running three jobs, it asks,
+// for a series of candidate jobs, (a) would RUSH admit this budget, (b) who
+// would be hurt, and (c) what is the earliest budget RUSH could actually
+// promise.
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "src/core/admission.h"
+#include "src/metrics/text_table.h"
+
+using namespace rush;
+
+namespace {
+
+PlannerJob make_job(JobId id, double demand_cs, double uncertainty,
+                    const UtilityFunction* utility, Seconds task_runtime = 15.0) {
+  PlannerJob job;
+  job.id = id;
+  job.demand = QuantizedPmf::gaussian(
+      demand_cs, uncertainty, 256, (demand_cs + 6 * uncertainty) * 1.25 / 256.0);
+  job.mean_runtime = task_runtime;
+  job.samples = 40;
+  job.utility = utility;
+  return job;
+}
+
+}  // namespace
+
+int main() {
+  const ContainerCount capacity = 16;
+  AdmissionController controller{RushConfig{}};
+
+  // The cluster's current tenants: a tight analytics job, a medium ETL job,
+  // and a background compaction that does not care about time.
+  const SigmoidUtility analytics_u(240.0, 5.0, 0.1);
+  const SigmoidUtility etl_u(900.0, 3.0, 0.01);
+  const ConstantUtility compaction_u(1.0);
+  std::vector<PlannerJob> active = {
+      make_job(0, 2400.0, 150.0, &analytics_u),
+      make_job(1, 4000.0, 300.0, &etl_u),
+      make_job(2, 6000.0, 200.0, &compaction_u),
+  };
+
+  std::cout << "cluster: " << capacity << " containers, 3 active jobs "
+            << "(analytics B=240s, etl B=900s, compaction untimed)\n\n";
+
+  TextTable table({"candidate", "demand(cs)", "budget", "admit?", "proj. utility",
+                   "proj. finish", "degrades"});
+  struct Candidate {
+    const char* name;
+    double demand;
+    Seconds budget;
+    double beta;
+  };
+  for (const Candidate& c : {Candidate{"small-urgent", 600.0, 120.0, 0.3},
+                             Candidate{"medium", 2000.0, 400.0, 0.05},
+                             Candidate{"huge-urgent", 8000.0, 300.0, 0.3},
+                             Candidate{"huge-patient", 8000.0, 3000.0, 0.01}}) {
+    const SigmoidUtility utility(c.budget, 4.0, c.beta);
+    const PlannerJob candidate = make_job(99, c.demand, 0.1 * c.demand, &utility);
+    const auto verdict = controller.evaluate(active, candidate, capacity, 0.0);
+    std::string degrades;
+    for (JobId id : verdict.degraded) degrades += "#" + std::to_string(id) + " ";
+    table.add_row({c.name, TextTable::num(c.demand, 0), TextTable::num(c.budget, 0),
+                   verdict.admit ? "yes" : "NO",
+                   TextTable::num(verdict.candidate_utility, 2),
+                   TextTable::num(verdict.candidate_completion, 0),
+                   degrades.empty() ? "-" : degrades});
+  }
+  table.print(std::cout);
+
+  // "What completion time can you promise me?" for the rejected huge job.
+  const PlannerJob shape = make_job(99, 8000.0, 800.0, nullptr);
+  const Seconds promise =
+      controller.earliest_feasible_budget(active, shape, capacity, 0.0, 4.0, 0.05);
+  std::cout << "\nearliest budget RUSH would accept for the 8000cs job: ";
+  if (std::isfinite(promise)) {
+    std::cout << TextTable::num(promise, 0) << " s\n";
+  } else {
+    std::cout << "none (cluster cannot absorb it)\n";
+  }
+  std::cout << "-> resubmit 'huge-urgent' with that budget instead of 300 s.\n";
+  return 0;
+}

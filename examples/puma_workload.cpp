@@ -1,0 +1,59 @@
+// PUMA-mix workload comparison — a command-line version of the paper's
+// §V-B evaluation.
+//
+//   build/examples/puma_workload [budget_ratio] [num_jobs] [seed]
+//
+// Runs the same workload under RUSH and every baseline and prints the
+// utility / latency summary plus an ASCII utility CDF per scheduler.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/experiments/experiment.h"
+#include "src/metrics/report.h"
+#include "src/metrics/text_table.h"
+#include "src/stats/summary.h"
+
+using namespace rush;
+
+int main(int argc, char** argv) {
+  ExperimentConfig config;
+  config.budget_ratio = argc > 1 ? std::atof(argv[1]) : 1.5;
+  config.num_jobs = argc > 2 ? std::atoi(argv[2]) : 60;
+  config.seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 99;
+
+  std::cout << "PUMA-mix workload: " << config.num_jobs << " jobs, budget ratio "
+            << config.budget_ratio << ", 48 containers, seed " << config.seed
+            << "\n\n";
+
+  TextTable table({"scheduler", "mean-util", "zero-util %", "budget-hit %",
+                   "median-latency", "events"});
+  for (const std::string name : {"RUSH", "EDF", "FIFO", "RRH", "Fair"}) {
+    const RunResult result = run_experiment(name, config);
+    double mean = 0.0;
+    for (double u : achieved_utilities(result.jobs)) mean += u;
+    mean /= static_cast<double>(result.jobs.size());
+    const auto lat = deadline_job_latencies(result.jobs);
+    table.add_row({name, TextTable::num(mean, 2),
+                   TextTable::num(100.0 * zero_utility_fraction(result.jobs), 1),
+                   TextTable::num(100.0 * budget_hit_fraction(result.jobs), 1),
+                   lat.empty() ? "-" : TextTable::num(boxplot_stats(lat).median, 0),
+                   std::to_string(result.scheduling_events)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNormalised utility CDF (fraction of jobs at or below x):\n";
+  for (const std::string name : {"RUSH", "FIFO"}) {
+    const RunResult result = run_experiment(name, config);
+    const EmpiricalCdf cdf(normalized_utilities(result.jobs));
+    std::cout << "\n  " << name << '\n';
+    for (double x : {0.0, 0.25, 0.5, 0.75, 0.95}) {
+      std::cout << "    u<=" << TextTable::num(x, 2) << "  " << ascii_bar(cdf.at(x), 40)
+                << ' ' << TextTable::num(100.0 * cdf.at(x), 0) << "%\n";
+    }
+  }
+  std::cout << "\n(RUSH keeps most mass at high utility; FIFO's serial head-of-line\n"
+               "blocking pushes a large share of jobs to zero.)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Robust demand estimation walkthrough (the paper's §III machinery, solo).
+//
+//   build/examples/robust_estimation
+//
+// Simulates a job of 60 tasks whose true runtime distribution is N(50, 15^2)
+// seconds.  As completed-task samples stream into the Gaussian distribution
+// estimator, prints the reference demand quantile, the robust demand eta
+// for several entropy thresholds, and whether each would have covered the
+// job's realised demand — Fig 3's mechanism, one row per sample count.
+
+#include <iostream>
+
+#include "src/common/rng.h"
+#include "src/estimator/distribution_estimator.h"
+#include "src/metrics/text_table.h"
+#include "src/robust/rem.h"
+#include "src/robust/wcde.h"
+
+using namespace rush;
+
+int main() {
+  const double true_mean = 50.0, true_std = 15.0;
+  const int tasks = 60;
+  const double theta = 0.9;
+
+  Rng rng(11);
+  // The job's realised total demand (what the cluster will actually charge).
+  double realized = 0.0;
+  std::vector<double> runtimes;
+  for (int t = 0; t < tasks; ++t) {
+    runtimes.push_back(rng.normal_at_least(true_mean, true_std, 1.0));
+    realized += runtimes.back();
+  }
+  std::cout << "true per-task runtime ~ N(" << true_mean << ", " << true_std
+            << "^2), realised total demand = " << TextTable::num(realized, 0)
+            << " container-seconds\n\n";
+
+  GaussianEstimator estimator;
+  TextTable table({"samples", "mean-est", "ref quantile(0.9)", "eta d=0.1",
+                   "eta d=0.7", "eta d=1.5", "covered (d=0.7)"});
+  int fed = 0;
+  for (int checkpoint : {3, 5, 10, 20, 30, 45, 60}) {
+    while (fed < checkpoint) estimator.observe(runtimes[static_cast<std::size_t>(fed++)]);
+    const int remaining = tasks;  // estimate the whole job, as in Fig 3
+    const QuantizedPmf phi = estimator.remaining_demand(remaining, 256);
+    std::vector<std::string> row = {std::to_string(checkpoint),
+                                    TextTable::num(estimator.mean_runtime(), 1),
+                                    TextTable::num(phi.quantile_value(theta), 0)};
+    double eta_07 = 0.0;
+    for (double delta : {0.1, 0.7, 1.5}) {
+      const double eta = solve_wcde(phi, theta, delta).eta;
+      if (delta == 0.7) eta_07 = eta;
+      row.push_back(TextTable::num(eta, 0));
+    }
+    row.push_back(eta_07 >= realized ? "yes" : "NO");
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe REM closed form behind eta (Algorithm 1): worst-case\n"
+               "distributions concentrate exactly theta mass below the probe\n"
+               "bin.  minKL collapses to the binary KL divergence, e.g.\n";
+  for (double s : {0.92, 0.97, 0.995}) {
+    std::cout << "  CDF_phi(L) = " << s << "  ->  minKL = "
+              << TextTable::num(rem_min_kl(s, theta), 4) << '\n';
+  }
+  std::cout << "A level L is robust-feasible while minKL <= delta.\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include "src/baselines/fair_scheduler.h"
+
+#include <algorithm>
+
+namespace rush {
+
+std::optional<JobId> FairScheduler::assign_container(const ClusterView& view) {
+  // Max-min on the weight-normalised allocation: give the container to the
+  // dispatchable job with the smallest held/weight ratio.
+  const JobView* best = nullptr;
+  double best_ratio = 0.0;
+  for (const JobView& jv : view.jobs) {
+    if (jv.dispatchable_tasks <= 0) continue;
+    const double weight = std::max(jv.priority, 1e-9);
+    const double ratio = static_cast<double>(jv.running_tasks) / weight;
+    if (best == nullptr || ratio < best_ratio ||
+        (ratio == best_ratio && jv.id < best->id)) {
+      best = &jv;
+      best_ratio = ratio;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id;
+}
+
+}  // namespace rush

@@ -1,0 +1,19 @@
+// Weighted fair scheduler — the Hadoop Fair Scheduler's instantaneous
+// policy: each job should hold containers proportional to its priority
+// weight.  The paper excludes it from the time-aware comparison (it ignores
+// completion-time utility) but it is the de-facto industry default, so we
+// keep it for the ablation benches.
+
+#pragma once
+
+#include "src/cluster/scheduler.h"
+
+namespace rush {
+
+class FairScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Fair"; }
+  std::optional<JobId> assign_container(const ClusterView& view) override;
+};
+
+}  // namespace rush

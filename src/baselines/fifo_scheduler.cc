@@ -1,0 +1,28 @@
+#include "src/baselines/fifo_scheduler.h"
+
+namespace rush {
+
+std::optional<JobId> FifoScheduler::assign_container(const ClusterView& view) {
+  const JobView* head = nullptr;   // earliest incomplete job
+  const JobView* usable = nullptr; // earliest job that can use a container
+  for (const JobView& jv : view.jobs) {
+    const bool earlier = head == nullptr || jv.arrival < head->arrival ||
+                         (jv.arrival == head->arrival && jv.id < head->id);
+    if (earlier) head = &jv;
+    if (jv.dispatchable_tasks > 0) {
+      const bool earlier_usable =
+          usable == nullptr || jv.arrival < usable->arrival ||
+          (jv.arrival == usable->arrival && jv.id < usable->id);
+      if (earlier_usable) usable = &jv;
+    }
+  }
+  if (exclusive_) {
+    // Only the head-of-line job may run; idle the container otherwise.
+    if (head != nullptr && head->dispatchable_tasks > 0) return head->id;
+    return std::nullopt;
+  }
+  if (usable == nullptr) return std::nullopt;
+  return usable->id;
+}
+
+}  // namespace rush

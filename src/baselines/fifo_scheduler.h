@@ -1,0 +1,28 @@
+// FIFO scheduler — Hadoop's default (paper §V-B comparison (i)).
+//
+// The paper's implementation serves one job at a time ("EDF and FIFO only
+// execute one job at a time creates head-of-line blocking"), so by default
+// containers go exclusively to the earliest-arrived incomplete job; when
+// that job cannot use more containers (reduce barrier, task tail) the
+// remaining containers idle.  Construct with exclusive = false for a
+// work-conserving variant that hands leftovers to the next job in line
+// (used by the scheduling-policy ablation).
+
+#pragma once
+
+#include "src/cluster/scheduler.h"
+
+namespace rush {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  explicit FifoScheduler(bool exclusive = true) : exclusive_(exclusive) {}
+
+  std::string name() const override { return exclusive_ ? "FIFO" : "FIFO-wc"; }
+  std::optional<JobId> assign_container(const ClusterView& view) override;
+
+ private:
+  bool exclusive_;
+};
+
+}  // namespace rush

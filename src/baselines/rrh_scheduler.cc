@@ -1,0 +1,66 @@
+#include "src/baselines/rrh_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rush {
+
+void RrhScheduler::on_task_finished(const ClusterView& /*view*/, JobId job,
+                                    Seconds runtime, bool /*is_reduce*/) {
+  per_job_runtimes_[job].add(runtime);
+  global_runtimes_.add(runtime);
+}
+
+Seconds RrhScheduler::mean_runtime(const JobView& job) const {
+  const auto it = per_job_runtimes_.find(job.id);
+  if (it != per_job_runtimes_.end() && it->second.count() >= 3) return it->second.mean();
+  if (global_runtimes_.count() >= 3) return global_runtimes_.mean();
+  return 60.0;  // cold-start assumption, same default as RUSH's prior
+}
+
+Seconds RrhScheduler::projected_completion(const JobView& job, int containers,
+                                           Seconds now) const {
+  const double work =
+      static_cast<double>(job.remaining_tasks()) * mean_runtime(job);
+  if (containers <= 0) {
+    // Without resources the job drifts; model it as finishing one "round"
+    // after every other job would (a large but finite horizon keeps linear
+    // utilities comparable).
+    return now + 4.0 * work;
+  }
+  return now + work / static_cast<double>(containers);
+}
+
+std::optional<JobId> RrhScheduler::assign_container(const ClusterView& view) {
+  const JobView* best = nullptr;
+  double best_score = 0.0;
+  for (const JobView& jv : view.jobs) {
+    if (jv.dispatchable_tasks <= 0) continue;
+    // Reward: utility improvement from one extra container.
+    const Seconds t_with = projected_completion(jv, jv.running_tasks + 1, view.now);
+    const Seconds t_without = projected_completion(jv, jv.running_tasks, view.now);
+    const double reward = jv.utility->value(t_with) - jv.utility->value(t_without);
+    // Risk / opportunity cost: what the job stands to lose per task-time of
+    // delay around its budget knee — a *static* criticality bid.  Steep
+    // (time-critical) utilities bid their whole cliff and win containers
+    // long before their deadline; flat ones bid ~0.  A job whose projected
+    // completion already yields no utility is a sunk cost and bids only its
+    // (vanishing) marginal reward — the paper observes exactly this pair of
+    // behaviours for RRH: critical jobs finish far ahead of their deadlines
+    // while sensitive jobs are starved.
+    const double at_stake =
+        jv.utility->value(jv.budget_deadline) -
+        jv.utility->value(jv.budget_deadline + mean_runtime(jv));
+    const bool winnable = jv.utility->value(t_with) > 1e-3;
+    const double score = reward + (winnable ? at_stake : 0.0);
+    if (best == nullptr || score > best_score ||
+        (score == best_score && jv.budget_deadline < best->budget_deadline)) {
+      best = &jv;
+      best_score = score;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id;
+}
+
+}  // namespace rush

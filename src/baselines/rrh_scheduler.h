@@ -1,0 +1,43 @@
+// Risk-Reward Heuristic scheduler (paper §V-B comparison (iii), after
+// Irwin, Grit & Chase, "Balancing risk and reward in a market-based task
+// service", HPDC'04 — reference [20] of the paper).
+//
+// For each dispatchable job the heuristic scores the *future utility gain*
+// of granting it one more container against the *opportunity cost* of that
+// container being unavailable to the other jobs, and grants the container
+// to the highest net score.  Completion estimates use learned mean task
+// runtimes (same observable information as RUSH, no robustness).
+//
+// The paper observes that RRH "favours heavily the completion-time critical
+// jobs": jobs with steep utility cliffs near their budget produce large
+// gain scores, so they finish well before their deadlines at the expense of
+// the merely time-sensitive ones — our implementation reproduces exactly
+// that mechanism.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "src/cluster/scheduler.h"
+#include "src/stats/summary.h"
+
+namespace rush {
+
+class RrhScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "RRH"; }
+  std::optional<JobId> assign_container(const ClusterView& view) override;
+  void on_task_finished(const ClusterView& view, JobId job, Seconds runtime,
+                        bool is_reduce) override;
+
+ private:
+  /// Expected completion time of `job` if it holds `containers` containers
+  /// from now on.
+  Seconds projected_completion(const JobView& job, int containers, Seconds now) const;
+  Seconds mean_runtime(const JobView& job) const;
+
+  std::unordered_map<JobId, OnlineStats> per_job_runtimes_;
+  OnlineStats global_runtimes_;
+};
+
+}  // namespace rush

@@ -1,0 +1,380 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+#include "src/common/logging.h"
+
+namespace rush {
+
+int Cluster::ActiveJob::dispatchable() const {
+  if (!arrived || finished) return 0;
+  if (!pending_maps.empty()) return static_cast<int>(pending_maps.size());
+  // Reduce barrier: reduces unlock only when every map has completed.
+  if (maps_completed < static_cast<int>(maps.size())) return 0;
+  return static_cast<int>(pending_reduces.size());
+}
+
+Cluster::Cluster(ClusterConfig config, Scheduler& scheduler)
+    : config_(std::move(config)), scheduler_(scheduler), rng_(config_.seed) {
+  require(!config_.nodes.empty(), "Cluster: need at least one node");
+  require(config_.max_attempts_per_task >= 1, "Cluster: need at least one attempt");
+  require(config_.speculation_threshold > 0.0,
+          "Cluster: speculation threshold must be positive");
+  for (std::size_t n = 0; n < config_.nodes.size(); ++n) {
+    const Node& node = config_.nodes[n];
+    require(node.containers > 0, "Cluster: node without containers");
+    require(node.speed_factor > 0.0, "Cluster: non-positive node speed");
+    for (ContainerCount c = 0; c < node.containers; ++c) {
+      containers_.push_back(Container{static_cast<int>(n), node.speed_factor, false});
+    }
+  }
+  capacity_ = static_cast<ContainerCount>(containers_.size());
+  for (std::size_t c = 0; c < containers_.size(); ++c) free_containers_.push_back(c);
+}
+
+JobId Cluster::submit(JobSpec spec) {
+  require(!ran_, "Cluster::submit: cluster already ran");
+  require(!spec.tasks.empty(), "Cluster::submit: job without tasks");
+  require(spec.arrival >= 0.0, "Cluster::submit: negative arrival time");
+
+  ActiveJob job;
+  job.id = static_cast<JobId>(jobs_.size());
+  job.utility = make_utility(spec.utility_kind, spec.arrival + spec.budget,
+                             spec.priority, spec.beta);
+  for (const TaskSpec& t : spec.tasks) {
+    require(t.nominal_runtime > 0.0, "Cluster::submit: non-positive task runtime");
+    (t.is_reduce ? job.reduces : job.maps).push_back(t);
+  }
+  job.maps_total = static_cast<int>(job.maps.size());
+  job.map_done.assign(job.maps.size(), 0);
+  job.reduce_done.assign(job.reduces.size(), 0);
+  for (int m = 0; m < job.maps_total; ++m) job.pending_maps.push_back(m);
+  for (int r = 0; r < static_cast<int>(job.reduces.size()); ++r) {
+    job.pending_reduces.push_back(r);
+  }
+  job.spec = std::move(spec);
+  jobs_.push_back(std::move(job));
+  ++unfinished_;
+  return jobs_.back().id;
+}
+
+RunResult Cluster::run() {
+  require(!ran_, "Cluster::run: cluster already ran");
+  ran_ = true;
+
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    sim_.schedule_at(jobs_[i].spec.arrival, [this, i] { handle_arrival(i); });
+  }
+  sim_.run(config_.max_time);
+
+  RunResult result;
+  result.scheduling_events = scheduling_events_;
+  result.assignments = assignments_;
+  result.task_failures = task_failures_;
+  result.speculative_attempts = speculative_attempts_;
+  result.speculative_kills = speculative_kills_;
+  for (const ActiveJob& job : jobs_) {
+    JobRecord record;
+    record.id = job.id;
+    record.name = job.spec.name;
+    record.arrival = job.spec.arrival;
+    record.budget = job.spec.budget;
+    record.priority = job.spec.priority;
+    record.sensitivity = job.spec.sensitivity;
+    record.completion = job.completion;
+    record.tasks = job.total_tasks();
+    record.best_possible_utility = job.utility->value(job.spec.arrival);
+    record.utility = job.finished ? job.utility->value(job.completion) : 0.0;
+    if (!job.finished) result.completed = false;
+    if (job.finished) result.makespan = std::max(result.makespan, job.completion);
+    result.jobs.push_back(std::move(record));
+  }
+  return result;
+}
+
+void Cluster::handle_arrival(std::size_t job_index) {
+  jobs_[job_index].arrived = true;
+  ++scheduling_events_;
+  if (observer_ != nullptr) {
+    observer_->on_job_arrival(sim_.now(), jobs_[job_index].id,
+                              jobs_[job_index].spec.name);
+  }
+  scheduler_.on_job_arrival(make_view(), jobs_[job_index].id);
+  dispatch();
+}
+
+void Cluster::release_container(std::size_t container_index) {
+  containers_[container_index].busy = false;
+  free_containers_.push_back(container_index);
+}
+
+int Cluster::running_attempts(std::size_t job_index, int task_index,
+                              bool is_reduce) const {
+  int count = 0;
+  for (const auto& [id, attempt] : attempts_) {
+    if (!attempt.cancelled && attempt.job_index == job_index &&
+        attempt.task_index == task_index && attempt.is_reduce == is_reduce) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Cluster::handle_attempt_finished(std::uint64_t attempt_id, Seconds runtime) {
+  const auto it = attempts_.find(attempt_id);
+  ensure(it != attempts_.end(), "finish event for unknown attempt");
+  const Attempt attempt = it->second;
+  attempts_.erase(it);
+  if (attempt.cancelled) return;  // killed earlier; container already freed
+
+  ActiveJob& job = jobs_[attempt.job_index];
+  release_container(attempt.container_index);
+  --job.running;
+
+  if (job.task_done(attempt.task_index, attempt.is_reduce)) {
+    // A sibling won while this event was in flight (only possible in the
+    // same timestamp batch); treat as a kill.
+    ++speculative_kills_;
+    if (observer_ != nullptr) {
+      observer_->on_task_killed(sim_.now(), job.id,
+                                static_cast<int>(attempt.container_index));
+    }
+    dispatch();
+    return;
+  }
+
+  (attempt.is_reduce ? job.reduce_done
+                     : job.map_done)[static_cast<std::size_t>(attempt.task_index)] = 1;
+  ++job.completed;
+  if (!attempt.is_reduce) ++job.maps_completed;
+  job.runtime_samples.push_back(runtime);
+  job.sample_sum += runtime;
+  ++scheduling_events_;
+
+  // Kill sibling backup attempts of the same task: free their containers
+  // now; their in-flight finish events become no-ops.
+  for (auto& [id, sibling] : attempts_) {
+    if (sibling.cancelled || sibling.job_index != attempt.job_index ||
+        sibling.task_index != attempt.task_index ||
+        sibling.is_reduce != attempt.is_reduce) {
+      continue;
+    }
+    sibling.cancelled = true;
+    release_container(sibling.container_index);
+    --job.running;
+    ++speculative_kills_;
+    if (observer_ != nullptr) {
+      observer_->on_task_killed(sim_.now(), job.id,
+                                static_cast<int>(sibling.container_index));
+    }
+  }
+
+  if (observer_ != nullptr) {
+    observer_->on_task_finish(sim_.now(), job.id,
+                              static_cast<int>(attempt.container_index), runtime,
+                              attempt.is_reduce);
+  }
+
+  const bool job_done = (job.completed == job.total_tasks());
+  if (job_done) {
+    job.finished = true;
+    job.completion = sim_.now();
+    --unfinished_;
+    RUSH_LOG(kDebug) << "job " << job.id << " (" << job.spec.name << ") finished at "
+                     << job.completion << " utility "
+                     << job.utility->value(job.completion);
+    if (observer_ != nullptr) {
+      observer_->on_job_finish(sim_.now(), job.id, job.utility->value(job.completion));
+    }
+  }
+
+  const ClusterView view = make_view();
+  scheduler_.on_task_finished(view, job.id, runtime, attempt.is_reduce);
+  if (job_done) scheduler_.on_job_finished(view, job.id);
+  dispatch();
+}
+
+void Cluster::handle_attempt_failed(std::uint64_t attempt_id, Seconds wasted) {
+  const auto it = attempts_.find(attempt_id);
+  ensure(it != attempts_.end(), "failure event for unknown attempt");
+  const Attempt attempt = it->second;
+  attempts_.erase(it);
+  if (attempt.cancelled) return;
+
+  ActiveJob& job = jobs_[attempt.job_index];
+  release_container(attempt.container_index);
+  --job.running;
+  ++job.failures;
+  ++task_failures_;
+  ++scheduling_events_;
+
+  // Re-queue the task unless it already completed (via a backup) or another
+  // attempt of it is still running.
+  if (!job.task_done(attempt.task_index, attempt.is_reduce) &&
+      running_attempts(attempt.job_index, attempt.task_index, attempt.is_reduce) == 0) {
+    (attempt.is_reduce ? job.pending_reduces : job.pending_maps)
+        .push_back(attempt.task_index);
+  }
+  RUSH_LOG(kDebug) << "task of job " << job.id << " failed after " << wasted << "s";
+  if (observer_ != nullptr) {
+    observer_->on_task_failure(sim_.now(), job.id,
+                               static_cast<int>(attempt.container_index), wasted);
+  }
+  scheduler_.on_task_failed(make_view(), job.id, wasted);
+  dispatch();
+}
+
+void Cluster::dispatch() {
+  while (!free_containers_.empty()) {
+    // Anything dispatchable at all?  (Avoids querying the scheduler when
+    // every remaining task is blocked or running.)
+    bool any = false;
+    for (const ActiveJob& job : jobs_) {
+      if (job.dispatchable() > 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;
+
+    const std::optional<JobId> choice = scheduler_.assign_container(make_view());
+    if (!choice.has_value()) break;  // scheduler deliberately leaves it idle
+    const JobId id = *choice;
+    require(id >= 0 && static_cast<std::size_t>(id) < jobs_.size(),
+            "Scheduler returned unknown job id");
+    const auto job_index = static_cast<std::size_t>(id);
+    require(jobs_[job_index].dispatchable() > 0,
+            "Scheduler chose a job with no dispatchable task");
+
+    const std::size_t container_index = free_containers_.back();
+    free_containers_.pop_back();
+    const bool launched = launch_task(job_index, container_index);
+    ensure(launched, "launch_task failed for dispatchable job");
+    ++assignments_;
+  }
+
+  if (config_.enable_speculation) launch_speculative_backups();
+}
+
+void Cluster::launch_speculative_backups() {
+  while (!free_containers_.empty()) {
+    // Find the worst straggler: the running attempt with the largest
+    // elapsed/mean ratio above the threshold whose task can take another
+    // attempt.
+    const Attempt* straggler = nullptr;
+    double worst_ratio = config_.speculation_threshold;
+    for (const auto& [id, attempt] : attempts_) {
+      if (attempt.cancelled) continue;
+      const ActiveJob& job = jobs_[attempt.job_index];
+      if (job.runtime_samples.empty()) continue;  // nothing to compare against
+      if (job.task_done(attempt.task_index, attempt.is_reduce)) continue;
+      const double mean =
+          job.sample_sum / static_cast<double>(job.runtime_samples.size());
+      if (mean <= 0.0) continue;
+      const double ratio = (sim_.now() - attempt.start) / mean;
+      if (ratio <= worst_ratio) continue;
+      if (running_attempts(attempt.job_index, attempt.task_index, attempt.is_reduce) >=
+          config_.max_attempts_per_task) {
+        continue;
+      }
+      worst_ratio = ratio;
+      straggler = &attempt;
+    }
+    if (straggler == nullptr) return;
+
+    const std::size_t container_index = free_containers_.back();
+    free_containers_.pop_back();
+    ++speculative_attempts_;
+    ++assignments_;
+    start_attempt(straggler->job_index, straggler->task_index, straggler->is_reduce,
+                  container_index);
+  }
+}
+
+bool Cluster::launch_task(std::size_t job_index, std::size_t container_index) {
+  ActiveJob& job = jobs_[job_index];
+  int task_index = -1;
+  bool is_reduce = false;
+  if (!job.pending_maps.empty()) {
+    task_index = job.pending_maps.front();
+    job.pending_maps.erase(job.pending_maps.begin());
+  } else if (job.maps_completed == job.maps_total && !job.pending_reduces.empty()) {
+    task_index = job.pending_reduces.front();
+    job.pending_reduces.erase(job.pending_reduces.begin());
+    is_reduce = true;
+  } else {
+    release_container(container_index);
+    return false;
+  }
+  start_attempt(job_index, task_index, is_reduce, container_index);
+  return true;
+}
+
+void Cluster::start_attempt(std::size_t job_index, int task_index, bool is_reduce,
+                            std::size_t container_index) {
+  ActiveJob& job = jobs_[job_index];
+  const TaskSpec& task = is_reduce ? job.reduces[static_cast<std::size_t>(task_index)]
+                                   : job.maps[static_cast<std::size_t>(task_index)];
+
+  Container& container = containers_[container_index];
+  container.busy = true;
+  ++job.running;
+  const double noise = config_.runtime_noise_sigma > 0.0
+                           ? rng_.lognormal_noise(config_.runtime_noise_sigma)
+                           : 1.0;
+  const Seconds runtime = task.nominal_runtime * container.speed_factor * noise;
+
+  const std::uint64_t attempt_id = next_attempt_id_++;
+  attempts_[attempt_id] =
+      Attempt{job_index, task_index, is_reduce, container_index, sim_.now(), false};
+
+  if (observer_ != nullptr) {
+    observer_->on_task_start(sim_.now(), job.id, static_cast<int>(container_index),
+                             is_reduce);
+  }
+
+  const bool fails = config_.task_failure_probability > 0.0 &&
+                     rng_.uniform() < config_.task_failure_probability;
+  if (fails) {
+    // The attempt dies partway through; the work is lost.
+    const Seconds wasted = runtime * rng_.uniform(0.1, 0.9);
+    sim_.schedule_after(wasted, [this, attempt_id, wasted] {
+      handle_attempt_failed(attempt_id, wasted);
+    });
+    return;
+  }
+  sim_.schedule_after(runtime, [this, attempt_id, runtime] {
+    handle_attempt_finished(attempt_id, runtime);
+  });
+}
+
+ClusterView Cluster::make_view() const {
+  ClusterView view;
+  view.now = sim_.now();
+  view.capacity = capacity_;
+  view.free_containers = static_cast<ContainerCount>(free_containers_.size());
+  for (const ActiveJob& job : jobs_) {
+    if (!job.arrived || job.finished) continue;
+    JobView jv;
+    jv.id = job.id;
+    jv.arrival = job.spec.arrival;
+    jv.budget_deadline = job.spec.arrival + job.spec.budget;
+    jv.priority = job.spec.priority;
+    jv.sensitivity = job.spec.sensitivity;
+    jv.utility = job.utility.get();
+    jv.total_tasks = job.total_tasks();
+    jv.completed_tasks = job.completed;
+    jv.running_tasks = job.running;
+    jv.dispatchable_tasks = job.dispatchable();
+    jv.remaining_maps = job.maps_total - job.maps_completed;
+    jv.remaining_reduces =
+        static_cast<int>(job.reduces.size()) - (job.completed - job.maps_completed);
+    jv.failed_attempts = job.failures;
+    jv.runtime_samples = &job.runtime_samples;
+    view.jobs.push_back(jv);
+  }
+  return view;
+}
+
+}  // namespace rush

@@ -1,0 +1,194 @@
+// The simulated cluster — stand-in for the paper's YARN Hadoop testbed
+// (DESIGN.md §2).
+//
+// Containers are homogeneous scheduling units spread over heterogeneous-
+// speed nodes.  A scheduling event fires whenever a job arrives or a task
+// attempt completes/fails; the installed Scheduler is then offered each
+// free container in turn, exactly like YARN's ResourceManager offering
+// heartbeat allocations.  Task runtimes are nominal * node speed *
+// lognormal noise, sampled when the attempt starts — the scheduler only
+// ever observes completed runtimes.
+//
+// Optional framework features (both uncertainty sources RUSH must absorb):
+//  - task failure injection: attempts die mid-run and re-queue their task,
+//  - speculative execution: Hadoop-style backup attempts for stragglers;
+//    the first attempt to finish wins and the losers are killed instantly.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/job.h"
+#include "src/cluster/node.h"
+#include "src/cluster/scheduler.h"
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+
+namespace rush {
+
+struct ClusterConfig {
+  std::vector<Node> nodes;
+  /// Sigma of the lognormal multiplicative runtime noise (0 = deterministic
+  /// apart from node speed).
+  double runtime_noise_sigma = 0.2;
+  /// Probability that a task attempt fails mid-run and must be re-executed
+  /// from scratch (the paper's future-work uncertainty source).  A failed
+  /// attempt wastes a uniform 10-90% of its would-be runtime, releases its
+  /// container, and the task is re-queued.
+  double task_failure_probability = 0.0;
+  /// Enables Hadoop-style speculative execution: containers left idle by
+  /// the scheduler may run backup copies of straggling attempts.
+  bool enable_speculation = false;
+  /// An attempt counts as a straggler once its elapsed time exceeds this
+  /// multiple of the job's mean completed-task runtime.
+  double speculation_threshold = 1.5;
+  /// Maximum simultaneous attempts per task (original + backups).
+  int max_attempts_per_task = 2;
+  /// RNG seed for runtime sampling.
+  std::uint64_t seed = 1;
+  /// Hard stop for the simulation clock (safety net).
+  Seconds max_time = 1e9;
+};
+
+/// Aggregate outcome of one run.
+struct RunResult {
+  std::vector<JobRecord> jobs;
+  /// Completion time of the last job.
+  Seconds makespan = 0.0;
+  /// Number of scheduling events processed (arrival/finish/failure).
+  long scheduling_events = 0;
+  /// Number of container assignments made (including backup attempts).
+  long assignments = 0;
+  /// Failed task attempts across the run (re-executed).
+  long task_failures = 0;
+  /// Backup attempts launched / killed because a sibling won.
+  long speculative_attempts = 0;
+  long speculative_kills = 0;
+  /// True when the run drained every submitted job before max_time.
+  bool completed = true;
+};
+
+/// Passive observer of cluster execution (tracing, statistics).  All hooks
+/// default to no-ops; observers must not mutate the cluster.
+class ClusterObserver {
+ public:
+  virtual ~ClusterObserver() = default;
+  virtual void on_job_arrival(Seconds /*now*/, JobId /*job*/,
+                              const std::string& /*name*/) {}
+  virtual void on_task_start(Seconds /*now*/, JobId /*job*/, int /*container*/,
+                             bool /*is_reduce*/) {}
+  virtual void on_task_finish(Seconds /*now*/, JobId /*job*/, int /*container*/,
+                              Seconds /*runtime*/, bool /*is_reduce*/) {}
+  virtual void on_task_failure(Seconds /*now*/, JobId /*job*/, int /*container*/,
+                               Seconds /*wasted*/) {}
+  /// A speculative attempt was killed because a sibling finished first.
+  virtual void on_task_killed(Seconds /*now*/, JobId /*job*/, int /*container*/) {}
+  virtual void on_job_finish(Seconds /*now*/, JobId /*job*/, Utility /*utility*/) {}
+};
+
+class Cluster {
+ public:
+  Cluster(ClusterConfig config, Scheduler& scheduler);
+
+  /// Attaches a trace observer (not owned; may be null).  Must be set
+  /// before run().
+  void set_observer(ClusterObserver* observer) { observer_ = observer; }
+
+  /// Registers a job for arrival at spec.arrival.  Must be called before
+  /// run().  Returns the assigned JobId (dense, submission order).
+  JobId submit(JobSpec spec);
+
+  /// Runs the simulation until every submitted job completes (or max_time).
+  RunResult run();
+
+  ContainerCount capacity() const { return capacity_; }
+
+ private:
+  struct Container {
+    int node_index = 0;
+    double speed_factor = 1.0;
+    bool busy = false;
+  };
+
+  /// One running execution of a task (original or speculative backup).
+  struct Attempt {
+    std::size_t job_index = 0;
+    int task_index = 0;
+    bool is_reduce = false;
+    std::size_t container_index = 0;
+    Seconds start = 0.0;
+    bool cancelled = false;
+  };
+
+  struct ActiveJob {
+    JobSpec spec;
+    JobId id = kInvalidJob;
+    std::unique_ptr<UtilityFunction> utility;  // absolute-time utility
+    int maps_total = 0;
+    int maps_completed = 0;
+    int completed = 0;
+    int running = 0;  // running attempts == held containers
+    int failures = 0;
+    bool arrived = false;
+    bool finished = false;
+    std::vector<TaskSpec> maps;
+    std::vector<TaskSpec> reduces;
+    /// Completion flags per task (first finishing attempt wins).
+    std::vector<char> map_done;
+    std::vector<char> reduce_done;
+    /// Indexes of tasks with no running attempt awaiting (re-)execution.
+    std::vector<int> pending_maps;
+    std::vector<int> pending_reduces;
+    std::vector<Seconds> runtime_samples;
+    double sample_sum = 0.0;  // running sum for the straggler mean
+    Seconds completion = kNever;
+
+    int dispatchable() const;
+    int total_tasks() const { return static_cast<int>(maps.size() + reduces.size()); }
+    bool task_done(int task_index, bool is_reduce) const {
+      return (is_reduce ? reduce_done : map_done)[static_cast<std::size_t>(task_index)] !=
+             0;
+    }
+  };
+
+  void handle_arrival(std::size_t job_index);
+  void handle_attempt_finished(std::uint64_t attempt_id, Seconds runtime);
+  void handle_attempt_failed(std::uint64_t attempt_id, Seconds wasted);
+  void dispatch();
+  void launch_speculative_backups();
+  ClusterView make_view() const;
+  /// Starts the next pending task of the job on the container; returns
+  /// false when the job has nothing dispatchable.
+  bool launch_task(std::size_t job_index, std::size_t container_index);
+  /// Starts an attempt of a specific task on a container (shared by first
+  /// attempts and backups).
+  void start_attempt(std::size_t job_index, int task_index, bool is_reduce,
+                     std::size_t container_index);
+  /// Number of running attempts for one task.
+  int running_attempts(std::size_t job_index, int task_index, bool is_reduce) const;
+  void release_container(std::size_t container_index);
+
+  ClusterConfig config_;
+  Scheduler& scheduler_;
+  ClusterObserver* observer_ = nullptr;
+  Simulator sim_;
+  Rng rng_;
+  std::vector<Container> containers_;
+  std::vector<std::size_t> free_containers_;
+  std::vector<ActiveJob> jobs_;
+  std::unordered_map<std::uint64_t, Attempt> attempts_;
+  std::uint64_t next_attempt_id_ = 0;
+  ContainerCount capacity_ = 0;
+  long scheduling_events_ = 0;
+  long assignments_ = 0;
+  long task_failures_ = 0;
+  long speculative_attempts_ = 0;
+  long speculative_kills_ = 0;
+  int unfinished_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace rush

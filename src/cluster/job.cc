@@ -1,0 +1,11 @@
+#include "src/cluster/job.h"
+
+namespace rush {
+
+Seconds JobSpec::total_nominal_work() const {
+  Seconds total = 0.0;
+  for (const TaskSpec& t : tasks) total += t.nominal_runtime;
+  return total;
+}
+
+}  // namespace rush

@@ -1,0 +1,76 @@
+// Job and task specifications submitted to the simulated cluster.
+//
+// Mirrors the paper's workload model: a batch job is a bag of map tasks
+// followed by a bag of reduce tasks (the reduce barrier is one of the task
+// dependencies that make runtimes uncertain).  Each task's *nominal* runtime
+// is perturbed at execution time by node speed and stochastic noise, so the
+// scheduler can only learn runtimes from completed-task samples — exactly
+// the situation RUSH's distribution estimator is built for.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace rush {
+
+/// Specification of a single task.
+struct TaskSpec {
+  /// Runtime in seconds on a speed-1.0 node with no noise.
+  Seconds nominal_runtime = 1.0;
+  /// Reduce tasks only become dispatchable after every map task finished.
+  bool is_reduce = false;
+};
+
+/// Specification of a job at submission time (the paper's XML configuration
+/// carries budget/priority/beta/utility kind; the task list comes from the
+/// application).
+struct JobSpec {
+  std::string name;
+  /// Submission time (absolute seconds).
+  Seconds arrival = 0.0;
+  /// Time budget B relative to arrival: the utility knee sits at
+  /// arrival + budget.
+  Seconds budget = 0.0;
+  /// Priority weight W.
+  Priority priority = 1.0;
+  /// Utility sensitivity coefficient beta.
+  double beta = 1.0;
+  /// Utility class: "linear", "sigmoid", "constant" or "step".
+  std::string utility_kind = "sigmoid";
+  /// Workload-mix label used by the evaluation (critical/sensitive/
+  /// insensitive); purely informational for schedulers.
+  Sensitivity sensitivity = Sensitivity::kTimeSensitive;
+  std::vector<TaskSpec> tasks;
+
+  int task_count() const { return static_cast<int>(tasks.size()); }
+
+  /// Total nominal work in container-seconds (the scheduler never sees
+  /// this; it is used by workload generators to size budgets).
+  Seconds total_nominal_work() const;
+};
+
+/// Outcome of one job after a cluster run.
+struct JobRecord {
+  JobId id = kInvalidJob;
+  std::string name;
+  Seconds arrival = 0.0;
+  Seconds budget = 0.0;
+  Priority priority = 1.0;
+  Sensitivity sensitivity = Sensitivity::kTimeSensitive;
+  Seconds completion = kNever;
+  /// U(completion) under the job's own utility function.
+  Utility utility = 0.0;
+  /// Maximum utility the job could have obtained by completing immediately
+  /// on arrival (normalisation aid for reports).
+  Utility best_possible_utility = 0.0;
+  int tasks = 0;
+
+  /// The paper's latency metric: completion - (arrival + budget).
+  /// Negative means the job beat its budget.
+  Seconds latency() const { return completion - (arrival + budget); }
+};
+
+}  // namespace rush

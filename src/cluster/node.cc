@@ -1,0 +1,33 @@
+#include "src/cluster/node.h"
+
+namespace rush {
+
+std::vector<Node> paper_testbed_nodes() {
+  // Speed factors proportional to inverse clock rate, normalised to the
+  // fastest machine (i5-3470 @ 3.2 GHz).
+  return {
+      {8, 3.2 / 2.7},  // Dell R320, E5-2470v2 @ 2.7 GHz
+      {8, 3.2 / 2.7},
+      {8, 3.2 / 2.3},  // Dell T320, E5-2470 @ 2.3 GHz
+      {8, 3.2 / 2.3},
+      {8, 1.0},        // Optiplex, i5-3470 @ 3.2 GHz
+      {8, 1.0},
+  };
+}
+
+std::vector<Node> homogeneous_nodes(int nodes, ContainerCount containers_per_node) {
+  return std::vector<Node>(static_cast<std::size_t>(nodes),
+                           Node{containers_per_node, 1.0});
+}
+
+double average_speed_factor(const std::vector<Node>& nodes) {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const Node& n : nodes) {
+    weighted += static_cast<double>(n.containers) * n.speed_factor;
+    total += static_cast<double>(n.containers);
+  }
+  return total > 0.0 ? weighted / total : 1.0;
+}
+
+}  // namespace rush

@@ -1,0 +1,36 @@
+// Cluster nodes.
+//
+// The paper's testbed is six heterogeneous machines (two CPU generations of
+// Dell rack servers plus two desktops) exposing 48 containers in total.
+// A Node here is that abstraction: a container count and a speed factor;
+// tasks placed on a slow node run proportionally longer, which is one of
+// the runtime-uncertainty sources RUSH is designed to absorb.
+
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace rush {
+
+struct Node {
+  /// Number of containers this node hosts.
+  ContainerCount containers = 8;
+  /// Runtime multiplier: 1.0 = reference speed, 1.2 = 20% slower.
+  double speed_factor = 1.0;
+};
+
+/// The paper's six-VM testbed shape: 48 containers over three hardware
+/// generations (R320 @2.7GHz, T320 @2.3GHz, Optiplex @3.2GHz).
+std::vector<Node> paper_testbed_nodes();
+
+/// A homogeneous cluster of `nodes` nodes with `containers_per_node` each.
+std::vector<Node> homogeneous_nodes(int nodes, ContainerCount containers_per_node);
+
+/// Capacity-weighted average speed factor of the cluster — what a job
+/// experiences on average, used to calibrate benchmarked runtimes the way
+/// the paper benchmarks jobs on the real (heterogeneous) cluster.
+double average_speed_factor(const std::vector<Node>& nodes);
+
+}  // namespace rush

@@ -1,0 +1,92 @@
+// The scheduler interface — the seam where RUSH and the baseline schedulers
+// plug into the cluster, mirroring how a YARN scheduler plugs into the
+// ResourceManager.
+//
+// The cluster calls assign_container() once per free container whenever a
+// scheduling event fires (job arrival or task completion); the scheduler
+// sees only what YARN would expose: job metadata, task counts and
+// completed-task runtime samples.  Nominal task runtimes are deliberately
+// NOT visible — runtimes must be learned, which is the paper's whole point.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/utility/utility_function.h"
+
+namespace rush {
+
+/// Read-only per-job snapshot handed to schedulers.
+struct JobView {
+  JobId id = kInvalidJob;
+  Seconds arrival = 0.0;
+  /// Absolute deadline knee: arrival + budget.
+  Seconds budget_deadline = 0.0;
+  Priority priority = 1.0;
+  Sensitivity sensitivity = Sensitivity::kTimeSensitive;
+  /// Utility over absolute completion time.  Owned by the cluster; valid
+  /// for the duration of the call.
+  const UtilityFunction* utility = nullptr;
+
+  int total_tasks = 0;
+  int completed_tasks = 0;
+  int running_tasks = 0;
+  /// Remaining (not yet successfully completed) tasks per phase.
+  int remaining_maps = 0;
+  int remaining_reduces = 0;
+  /// Tasks dispatchable right now (maps, or reduces once all maps are done).
+  int dispatchable_tasks = 0;
+  /// Failed attempts observed so far (each re-queued its task).
+  int failed_attempts = 0;
+
+  /// Observed runtimes (seconds) of this job's completed tasks, in
+  /// completion order — the stream the distribution estimator consumes.
+  const std::vector<Seconds>* runtime_samples = nullptr;
+
+  int remaining_tasks() const { return total_tasks - completed_tasks; }
+};
+
+/// Read-only cluster snapshot.
+struct ClusterView {
+  Seconds now = 0.0;
+  ContainerCount capacity = 0;
+  ContainerCount free_containers = 0;
+  /// Jobs that have arrived and are not yet complete.
+  std::vector<JobView> jobs;
+
+  const JobView* find(JobId id) const {
+    for (const JobView& j : jobs) {
+      if (j.id == id) return &j;
+    }
+    return nullptr;
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Display name used in benchmark tables ("RUSH", "FIFO", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Chooses the job that receives the next free container, or nullopt to
+  /// leave it idle.  The chosen job must have dispatchable_tasks > 0.
+  virtual std::optional<JobId> assign_container(const ClusterView& view) = 0;
+
+  /// Notification hooks (default: ignore).
+  virtual void on_job_arrival(const ClusterView& /*view*/, JobId /*job*/) {}
+  virtual void on_task_finished(const ClusterView& /*view*/, JobId /*job*/,
+                                Seconds /*runtime*/, bool /*is_reduce*/) {}
+  /// A task attempt died after `wasted` seconds and was re-queued (the
+  /// paper's future-work extension: task failures are another uncertainty
+  /// source the feedback cycle absorbs).  The wasted time is NOT a valid
+  /// runtime sample.
+  virtual void on_task_failed(const ClusterView& /*view*/, JobId /*job*/,
+                              Seconds /*wasted*/) {}
+  virtual void on_job_finished(const ClusterView& /*view*/, JobId /*job*/) {}
+};
+
+}  // namespace rush

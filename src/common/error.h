@@ -1,0 +1,38 @@
+// Error handling conventions.
+//
+// Programming and configuration errors throw; expected runtime conditions
+// (e.g. "no pending task") are expressed with std::optional in the APIs.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rush {
+
+/// Thrown when an input violates a documented precondition (bad config,
+/// malformed PMF, inconsistent schedule, ...).
+class InvalidInput : public std::invalid_argument {
+ public:
+  explicit InvalidInput(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant is violated; indicates a bug, never a
+/// user error.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Precondition check helper: throws InvalidInput with the message when the
+/// condition is false.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidInput(message);
+}
+
+/// Invariant check helper: throws InternalError when the condition is false.
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) throw InternalError(message);
+}
+
+}  // namespace rush

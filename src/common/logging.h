@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The simulator and scheduler are silent by default (benchmarks print their
+// own tables); raise the level to kDebug to trace scheduling decisions.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rush {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define RUSH_LOG(level) ::rush::detail::LogLine(::rush::LogLevel::level)
+
+}  // namespace rush

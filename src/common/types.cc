@@ -1,0 +1,17 @@
+#include "src/common/types.h"
+
+namespace rush {
+
+std::string to_string(Sensitivity s) {
+  switch (s) {
+    case Sensitivity::kTimeCritical:
+      return "critical";
+    case Sensitivity::kTimeSensitive:
+      return "sensitive";
+    case Sensitivity::kTimeInsensitive:
+      return "insensitive";
+  }
+  return "unknown";
+}
+
+}  // namespace rush

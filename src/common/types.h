@@ -1,0 +1,51 @@
+// Fundamental value types shared across the RUSH libraries.
+//
+// The paper's model (Table I) is expressed in container time slots; the
+// simulator runs in continuous seconds.  To keep the two from being mixed up
+// we give the quantities thin, explicit names instead of bare doubles where
+// the distinction matters.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rush {
+
+/// Identifier of a job inside one cluster run.  Dense, assigned in
+/// submission order starting from 0.
+using JobId = std::int64_t;
+
+inline constexpr JobId kInvalidJob = -1;
+
+/// Simulated wall-clock time in seconds since the start of the run.
+using Seconds = double;
+
+inline constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
+
+/// Work expressed in container-seconds (the continuous analogue of the
+/// paper's "container time slots"; see DESIGN.md §5).
+using ContainerSeconds = double;
+
+/// Number of containers (the paper's homogeneous resource unit).
+using ContainerCount = int;
+
+/// Priority weight W from the job configuration interface (paper §IV).
+using Priority = double;
+
+/// A utility value U_i(T_i).
+using Utility = double;
+
+/// Completion-time sensitivity classes used by the paper's evaluation
+/// workload mix (20% critical / 60% sensitive / 20% insensitive).
+enum class Sensitivity {
+  kTimeCritical,    ///< utility collapses sharply past the budget
+  kTimeSensitive,   ///< utility decays gradually past the budget
+  kTimeInsensitive  ///< constant utility
+};
+
+/// Human-readable name, used in logs and benchmark tables.
+std::string to_string(Sensitivity s);
+
+}  // namespace rush

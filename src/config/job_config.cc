@@ -1,0 +1,50 @@
+#include "src/config/job_config.h"
+
+#include "src/common/error.h"
+
+namespace rush {
+
+void JobConfig::validate() const {
+  require(budget >= 0.0, "JobConfig '" + name + "': negative budget");
+  require(priority >= 0.0, "JobConfig '" + name + "': negative priority");
+  require(beta > 0.0 || utility_kind == "constant" || utility_kind == "step",
+          "JobConfig '" + name + "': beta must be positive");
+  require(maps >= 0 && reduces >= 0, "JobConfig '" + name + "': negative task count");
+  require(maps + reduces > 0, "JobConfig '" + name + "': no tasks");
+  require(task_seconds > 0.0, "JobConfig '" + name + "': non-positive task seconds");
+  require(arrival >= 0.0, "JobConfig '" + name + "': negative arrival");
+  require(utility_kind == "linear" || utility_kind == "sigmoid" ||
+              utility_kind == "constant" || utility_kind == "step",
+          "JobConfig '" + name + "': unknown utility class '" + utility_kind + "'");
+}
+
+JobConfig parse_job_config(const XmlNode& node) {
+  require(node.tag == "job", "parse_job_config: expected <job>, got <" + node.tag + ">");
+  JobConfig config;
+  config.name = node.child_text("name", config.name);
+  config.budget = node.child_double("budget", config.budget);
+  config.priority = node.child_double("priority", config.priority);
+  config.beta = node.child_double("beta", config.beta);
+  config.utility_kind = node.child_text("utility", config.utility_kind);
+  config.maps = static_cast<int>(node.child_long("maps", config.maps));
+  config.reduces = static_cast<int>(node.child_long("reduces", config.reduces));
+  config.task_seconds = node.child_double("task-seconds", config.task_seconds);
+  config.arrival = node.child_double("arrival", config.arrival);
+  config.validate();
+  return config;
+}
+
+std::vector<JobConfig> parse_jobs_config(const XmlNode& root) {
+  std::vector<JobConfig> configs;
+  if (root.tag == "job") {
+    configs.push_back(parse_job_config(root));
+    return configs;
+  }
+  require(root.tag == "jobs", "parse_jobs_config: expected <jobs> root");
+  for (const XmlNode& child : root.children) {
+    configs.push_back(parse_job_config(child));
+  }
+  return configs;
+}
+
+}  // namespace rush

@@ -1,0 +1,52 @@
+// Job configuration schema — the paper's XML user interface, parsed into
+// the fields a JobSpec needs (budget B, priority W, sensitivity beta,
+// utility class) plus optional task-shape hints for the simulator.
+//
+// Example document:
+//
+//   <jobs>
+//     <job>
+//       <name>wordcount-17</name>
+//       <budget>240</budget>
+//       <priority>3</priority>
+//       <beta>0.05</beta>
+//       <utility>sigmoid</utility>
+//       <maps>40</maps>
+//       <reduces>1</reduces>
+//       <task-seconds>55</task-seconds>
+//     </job>
+//     ...
+//   </jobs>
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/config/xml.h"
+#include "src/common/types.h"
+
+namespace rush {
+
+struct JobConfig {
+  std::string name = "job";
+  Seconds budget = 0.0;
+  Priority priority = 1.0;
+  double beta = 1.0;
+  std::string utility_kind = "sigmoid";
+  int maps = 1;
+  int reduces = 0;
+  Seconds task_seconds = 60.0;
+  Seconds arrival = 0.0;
+
+  /// Validates ranges; throws InvalidInput with the offending field.
+  void validate() const;
+};
+
+/// Parses one <job> element.
+JobConfig parse_job_config(const XmlNode& node);
+
+/// Parses a <jobs> document (or a single <job> root).
+std::vector<JobConfig> parse_jobs_config(const XmlNode& root);
+
+}  // namespace rush

@@ -1,0 +1,235 @@
+#include "src/config/xml.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  XmlNode parse_document() {
+    skip_misc();
+    XmlNode root = parse_element();
+    skip_misc();
+    require(pos_ >= input_.size(), "XML: trailing content after root element");
+    return root;
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  bool starts_with(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+  void expect(char c) {
+    require(peek() == c, std::string("XML: expected '") + c + "' at offset " +
+                             std::to_string(pos_));
+    ++pos_;
+  }
+  void skip_whitespace() {
+    while (pos_ < input_.size() && std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  /// Skips whitespace, comments and the <?xml ...?> declaration.
+  void skip_misc() {
+    for (;;) {
+      skip_whitespace();
+      if (starts_with("<!--")) {
+        const std::size_t end = input_.find("-->", pos_ + 4);
+        require(end != std::string_view::npos, "XML: unterminated comment");
+        pos_ = end + 3;
+      } else if (starts_with("<?")) {
+        const std::size_t end = input_.find("?>", pos_ + 2);
+        require(end != std::string_view::npos, "XML: unterminated declaration");
+        pos_ = end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == '.' || c == ':') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    require(pos_ > start, "XML: expected a name at offset " + std::to_string(start));
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const std::size_t semi = raw.find(';', i);
+      require(semi != std::string_view::npos, "XML: unterminated entity");
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else {
+        throw InvalidInput("XML: unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  void parse_attributes(XmlNode& node) {
+    for (;;) {
+      skip_whitespace();
+      const char c = peek();
+      if (c == '>' || c == '/' || c == '\0') return;
+      const std::string name = parse_name();
+      skip_whitespace();
+      expect('=');
+      skip_whitespace();
+      const char quote = peek();
+      require(quote == '"' || quote == '\'', "XML: attribute value must be quoted");
+      ++pos_;
+      const std::size_t start = pos_;
+      while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+      require(pos_ < input_.size(), "XML: unterminated attribute value");
+      node.attributes.emplace_back(name,
+                                   decode_entities(input_.substr(start, pos_ - start)));
+      ++pos_;
+    }
+  }
+
+  XmlNode parse_element() {
+    expect('<');
+    XmlNode node;
+    node.tag = parse_name();
+    parse_attributes(node);
+    if (peek() == '/') {  // self-closing
+      ++pos_;
+      expect('>');
+      return node;
+    }
+    expect('>');
+
+    std::string text;
+    for (;;) {
+      require(pos_ < input_.size(), "XML: unterminated element <" + node.tag + ">");
+      if (starts_with("<!--")) {
+        const std::size_t end = input_.find("-->", pos_ + 4);
+        require(end != std::string_view::npos, "XML: unterminated comment");
+        pos_ = end + 3;
+      } else if (starts_with("</")) {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        require(closing == node.tag,
+                "XML: mismatched closing tag </" + closing + "> for <" + node.tag + ">");
+        skip_whitespace();
+        expect('>');
+        break;
+      } else if (peek() == '<') {
+        node.children.push_back(parse_element());
+      } else {
+        const std::size_t start = pos_;
+        while (pos_ < input_.size() && input_[pos_] != '<') ++pos_;
+        text += decode_entities(input_.substr(start, pos_ - start));
+      }
+    }
+
+    // Trim surrounding whitespace from the accumulated text.
+    const auto first = text.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) {
+      node.text.clear();
+    } else {
+      const auto last = text.find_last_not_of(" \t\r\n");
+      node.text = text.substr(first, last - first + 1);
+    }
+    return node;
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const XmlNode* XmlNode::child(std::string_view child_tag) const {
+  for (const XmlNode& c : children) {
+    if (c.tag == child_tag) return &c;
+  }
+  return nullptr;
+}
+
+std::string XmlNode::child_text(std::string_view child_tag, std::string fallback) const {
+  const XmlNode* c = child(child_tag);
+  return c != nullptr ? c->text : std::move(fallback);
+}
+
+double XmlNode::child_double(std::string_view child_tag, double fallback) const {
+  const XmlNode* c = child(child_tag);
+  if (c == nullptr) return fallback;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(c->text, &used);
+    require(used == c->text.size(), "trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidInput("XML: <" + std::string(child_tag) + "> is not a number: '" +
+                       c->text + "'");
+  }
+}
+
+long XmlNode::child_long(std::string_view child_tag, long fallback) const {
+  const XmlNode* c = child(child_tag);
+  if (c == nullptr) return fallback;
+  try {
+    std::size_t used = 0;
+    const long value = std::stol(c->text, &used);
+    require(used == c->text.size(), "trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidInput("XML: <" + std::string(child_tag) + "> is not an integer: '" +
+                       c->text + "'");
+  }
+}
+
+std::string XmlNode::attribute(std::string_view name, std::string fallback) const {
+  for (const auto& [key, value] : attributes) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+XmlNode parse_xml(std::string_view input) { return Parser(input).parse_document(); }
+
+XmlNode parse_xml_file(const std::string& path) {
+  std::ifstream file(path);
+  require(file.good(), "XML: cannot open file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_xml(buffer.str());
+}
+
+}  // namespace rush

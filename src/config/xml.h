@@ -1,0 +1,49 @@
+// Minimal XML subset parser for the job configuration interface (paper §IV:
+// "an XML file with its requirements such as time budget B, priority value W
+// and utility value sensitivity beta is submitted through this interface").
+//
+// Supported: nested elements, attributes, text content, comments, XML
+// declarations, self-closing tags and the five predefined entities.  Not
+// supported (not needed for configs): namespaces, CDATA, DTDs, processing
+// instructions beyond the declaration.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rush {
+
+struct XmlNode {
+  std::string tag;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  /// Concatenated text content of this element (trimmed).
+  std::string text;
+  std::vector<XmlNode> children;
+
+  /// First child with the given tag, or nullptr.
+  const XmlNode* child(std::string_view child_tag) const;
+
+  /// Text of the first child with the given tag, or `fallback`.
+  std::string child_text(std::string_view child_tag, std::string fallback = "") const;
+
+  /// Numeric convenience accessors; throw InvalidInput when the child exists
+  /// but does not parse.
+  double child_double(std::string_view child_tag, double fallback) const;
+  long child_long(std::string_view child_tag, long fallback) const;
+
+  /// Attribute value, or `fallback`.
+  std::string attribute(std::string_view name, std::string fallback = "") const;
+};
+
+/// Parses a document and returns its root element.
+/// Throws InvalidInput on malformed input (unclosed/unbalanced tags, bad
+/// entities, trailing garbage).
+XmlNode parse_xml(std::string_view input);
+
+/// Reads and parses a file.  Throws InvalidInput when unreadable.
+XmlNode parse_xml_file(const std::string& path);
+
+}  // namespace rush

@@ -1,0 +1,86 @@
+#include "src/core/admission.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/error.h"
+
+namespace rush {
+
+AdmissionController::AdmissionController(RushConfig config)
+    : config_(std::move(config)), planner_(config_) {}
+
+AdmissionVerdict AdmissionController::evaluate(const std::vector<PlannerJob>& active,
+                                               const PlannerJob& candidate,
+                                               ContainerCount capacity, Seconds now,
+                                               const AdmissionPolicy& policy) const {
+  require(candidate.utility != nullptr, "AdmissionController: candidate needs a utility");
+  for (const PlannerJob& job : active) {
+    require(job.id != candidate.id,
+            "AdmissionController: candidate id collides with an active job");
+  }
+
+  const Plan before = planner_.plan(active, capacity, now);
+
+  std::vector<PlannerJob> with;
+  with.reserve(active.size() + 1);
+  for (const PlannerJob& job : active) with.push_back(job);
+  with.push_back(candidate);
+  Plan after = planner_.plan(with, capacity, now);
+
+  AdmissionVerdict verdict;
+  const PlanEntry* cand_entry = after.find(candidate.id);
+  ensure(cand_entry != nullptr, "AdmissionController: candidate missing from plan");
+  verdict.candidate_utility = cand_entry->utility_level;
+  verdict.candidate_completion = cand_entry->target_completion;
+
+  bool someone_ruined = false;
+  for (const PlanEntry& entry : before.entries) {
+    const PlanEntry* now_entry = after.find(entry.id);
+    ensure(now_entry != nullptr, "AdmissionController: active job missing from plan");
+    if (now_entry->utility_level < entry.utility_level - policy.tolerable_loss) {
+      verdict.degraded.push_back(entry.id);
+    }
+    if (!entry.impossible && now_entry->impossible) someone_ruined = true;
+  }
+  std::sort(verdict.degraded.begin(), verdict.degraded.end());
+
+  const Utility best_possible = candidate.utility->value(now);
+  verdict.admit = !cand_entry->impossible && !someone_ruined &&
+                  verdict.candidate_utility >=
+                      policy.min_useful_fraction * best_possible &&
+                  verdict.candidate_utility > 0.0;
+  verdict.projected = std::move(after);
+  return verdict;
+}
+
+Seconds AdmissionController::earliest_feasible_budget(
+    const std::vector<PlannerJob>& active, const PlannerJob& candidate_shape,
+    ContainerCount capacity, Seconds now, Priority priority, double beta) const {
+  // Exponential search for a feasible budget, then bisection down to 1 s
+  // resolution.  Admission is monotone in the budget: a later deadline can
+  // only relax the candidate's constraints.
+  const auto admitted_with_budget = [&](Seconds budget) {
+    SigmoidUtility utility(now + budget, priority, beta);
+    PlannerJob candidate = candidate_shape;
+    candidate.utility = &utility;
+    return evaluate(active, candidate, capacity, now).admit;
+  };
+
+  Seconds hi = 60.0;
+  const Seconds cap = 1e7;
+  bool grew = false;
+  while (hi < cap && !admitted_with_budget(hi)) {
+    hi *= 2.0;
+    grew = true;
+  }
+  if (hi >= cap) return kNever;
+  Seconds lo = grew ? hi / 2.0 : 0.0;
+  while (hi - lo > 1.0) {
+    const Seconds mid = 0.5 * (lo + hi);
+    (admitted_with_budget(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace rush

@@ -1,0 +1,66 @@
+// Admission control / what-if analysis on top of the RUSH planner.
+//
+// The RUSH web UI (paper Fig 2) flags jobs that cannot finish before their
+// utility hits zero and asks the user to resubmit with new requirements.
+// This module turns that workflow into an API: before submitting, evaluate
+// what admitting a candidate job would do to it *and* to every job already
+// in the cluster, and search for the tightest budget the cluster could
+// actually honour.
+
+#pragma once
+
+#include <vector>
+
+#include "src/core/rush_planner.h"
+
+namespace rush {
+
+struct AdmissionPolicy {
+  /// Utility-level drop an active job may suffer without being reported as
+  /// degraded.
+  double tolerable_loss = 1e-6;
+  /// The candidate is only admitted when its projected utility reaches this
+  /// fraction of its best-possible utility (value at `now`).  0.5 means
+  /// "roughly meets its budget": a sigmoid at its budget knee sits at W/2.
+  double min_useful_fraction = 0.5;
+};
+
+struct AdmissionVerdict {
+  /// True when the candidate reaches min_useful_fraction of its best
+  /// utility and no currently active job is pushed into the impossible
+  /// state.
+  bool admit = false;
+  /// Projected utility level and completion time of the candidate.
+  Utility candidate_utility = 0.0;
+  Seconds candidate_completion = 0.0;
+  /// Active jobs whose planned utility level drops by more than the
+  /// tolerance when the candidate is admitted.
+  std::vector<JobId> degraded;
+  /// Full projected plan including the candidate (candidate last).
+  Plan projected;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(RushConfig config);
+
+  /// Compares the plan with and without the candidate.
+  AdmissionVerdict evaluate(const std::vector<PlannerJob>& active,
+                            const PlannerJob& candidate, ContainerCount capacity,
+                            Seconds now, const AdmissionPolicy& policy = {}) const;
+
+  /// Smallest budget (seconds from `now`) for which a sigmoid job with the
+  /// candidate's demand would still be admitted — "what completion time can
+  /// you actually promise me?".  Returns kNever when even an unbounded
+  /// budget is rejected (an active job degrades regardless).
+  Seconds earliest_feasible_budget(const std::vector<PlannerJob>& active,
+                                   const PlannerJob& candidate_shape,
+                                   ContainerCount capacity, Seconds now,
+                                   Priority priority, double beta) const;
+
+ private:
+  RushConfig config_;
+  RushPlanner planner_;
+};
+
+}  // namespace rush

@@ -1,0 +1,26 @@
+#include "src/core/rush_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+
+namespace rush {
+
+double RushConfig::delta_for(std::size_t samples) const {
+  if (!adaptive_delta || samples <= full_trust_samples) return delta;
+  const double shrink =
+      std::sqrt(static_cast<double>(full_trust_samples) / static_cast<double>(samples));
+  return std::max(delta * shrink, delta_min);
+}
+
+void RushConfig::validate() const {
+  require(theta > 0.0 && theta < 1.0, "RushConfig: theta must be in (0,1)");
+  require(delta >= 0.0, "RushConfig: delta must be non-negative");
+  require(bins >= 2, "RushConfig: need at least 2 bins");
+  require(peel_tolerance > 0.0, "RushConfig: peel tolerance must be positive");
+  require(delta_min >= 0.0, "RushConfig: delta_min must be non-negative");
+  require(prior.mean_runtime > 0.0, "RushConfig: prior mean must be positive");
+}
+
+}  // namespace rush

@@ -1,0 +1,59 @@
+// Tunables of the RUSH scheduler (paper Table I and §IV).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/estimator/distribution_estimator.h"
+
+namespace rush {
+
+struct RushConfig {
+  /// Completion-probability requirement theta in (0,1): each job must
+  /// receive at least its v_i demand with this probability, under the worst
+  /// case distribution (constraint (3)).
+  double theta = 0.9;
+
+  /// Entropy threshold delta: KL ball radius around the reference
+  /// distribution.  The paper's Fig 3 recommends >= 0.7 until estimates
+  /// mature.  delta = 0 disables robustness (trust phi outright).
+  double delta = 0.7;
+
+  /// When true, delta shrinks as a job accumulates runtime samples
+  /// (delta * sqrt(full_trust_samples / samples), floored at delta_min) —
+  /// the "more samples allow a smaller entropy threshold" observation in
+  /// §V-A, made concrete.
+  bool adaptive_delta = false;
+  std::size_t full_trust_samples = 35;
+  double delta_min = 0.05;
+
+  /// Demand PMF resolution (number of quantisation bins).
+  std::size_t bins = 256;
+
+  /// Onion peeling bisection tolerance Delta on the utility level.
+  double peel_tolerance = 1e-3;
+
+  /// Shrink deadlines by R_i so the Theorem 3 stretch stays within target.
+  bool compensate_runtime = true;
+
+  /// Distribution estimator class per job: "mean", "gaussian", "bootstrap",
+  /// "ewma".
+  std::string estimator_kind = "gaussian";
+
+  /// Extension (DESIGN.md §5): estimate map and reduce demand with separate
+  /// per-phase moments instead of one pooled estimator — avoids
+  /// underestimating reduce-heavy jobs as they cross the barrier.
+  bool phase_aware_estimation = false;
+
+  /// Fallback runtime assumptions for jobs with too few samples.
+  EstimatorPrior prior = {};
+
+  /// Effective entropy threshold for a job with `samples` completed tasks.
+  double delta_for(std::size_t samples) const;
+
+  /// Validates ranges; throws InvalidInput.
+  void validate() const;
+};
+
+}  // namespace rush

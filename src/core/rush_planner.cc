@@ -1,0 +1,92 @@
+#include "src/core/rush_planner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/error.h"
+#include "src/robust/wcde.h"
+
+namespace rush {
+
+RushPlanner::RushPlanner(RushConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capacity,
+                       Seconds now) const {
+  require(capacity > 0, "RushPlanner::plan: capacity must be positive");
+
+  Plan result;
+  result.computed_at = now;
+
+  // Step 1 — WCDE per job (decoupled across jobs, §III-A).
+  std::vector<TasJob> tas_jobs;
+  std::unordered_map<JobId, std::size_t> entry_of;
+  tas_jobs.reserve(jobs.size());
+  for (const PlannerJob& job : jobs) {
+    require(job.utility != nullptr, "RushPlanner::plan: job without utility");
+    const double delta = config_.delta_for(job.samples);
+    const WcdeResult wcde = solve_wcde(job.demand, config_.theta, delta);
+
+    PlanEntry entry;
+    entry.id = job.id;
+    entry.eta = wcde.eta;
+    entry_of[job.id] = result.entries.size();
+    result.entries.push_back(entry);
+
+    TasJob tj;
+    tj.id = job.id;
+    tj.eta = wcde.eta;
+    tj.avg_task_runtime = job.mean_runtime;
+    tj.utility = job.utility;
+    tas_jobs.push_back(tj);
+  }
+
+  // Step 2 — onion peeling for target completion times.
+  OnionPeelingConfig peel_config;
+  peel_config.tolerance = config_.peel_tolerance;
+  peel_config.compensate_runtime = config_.compensate_runtime;
+  const TasResult tas = onion_peel(tas_jobs, capacity, now, peel_config);
+  result.peel_probes = tas.probes;
+
+  // Step 3 — continuous time slot mapping.
+  std::vector<MappingJob> mapping_jobs;
+  mapping_jobs.reserve(tas.targets.size());
+  std::unordered_map<JobId, Seconds> runtime_of;
+  for (const TasJob& tj : tas_jobs) runtime_of[tj.id] = tj.avg_task_runtime;
+  for (const TasTarget& target : tas.targets) {
+    PlanEntry& entry = result.entries[entry_of.at(target.id)];
+    entry.target_completion = target.target_completion;
+    entry.utility_level = target.utility_level;
+    entry.impossible = target.impossible;
+
+    MappingJob mj;
+    mj.id = target.id;
+    mj.deadline = target.mapping_deadline;
+    mj.eta = entry.eta;
+    mj.task_runtime = runtime_of.at(target.id);
+    mapping_jobs.push_back(mj);
+  }
+  const MappingResult mapping = map_time_slots(std::move(mapping_jobs), capacity, now);
+
+  // Step 4 — count queue heads: the first segment of each queue is the work
+  // that should occupy that container next, so the per-job head count is the
+  // allocation RUSH wants to converge to.
+  std::vector<Seconds> head_start(static_cast<std::size_t>(capacity), kNever);
+  std::vector<JobId> head_job(static_cast<std::size_t>(capacity), kInvalidJob);
+  for (const MappedSegment& seg : mapping.segments) {
+    const auto q = static_cast<std::size_t>(seg.queue);
+    if (seg.start < head_start[q]) {
+      head_start[q] = seg.start;
+      head_job[q] = seg.job;
+    }
+  }
+  for (JobId id : head_job) {
+    if (id == kInvalidJob) continue;
+    result.entries[entry_of.at(id)].desired_containers += 1;
+  }
+
+  return result;
+}
+
+}  // namespace rush

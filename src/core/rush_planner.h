@@ -1,0 +1,81 @@
+// The Container Assignment decision path (paper §IV, "CA unit"), factored
+// out of the scheduler so it can be unit-tested and benchmarked in
+// isolation (Fig 5 measures exactly this computation).
+//
+// One planning pass = the full feedback-cycle recomputation:
+//   1. WCDE per job: reference demand PMF -> robust demand eta_i,
+//   2. onion peeling: eta_i + utilities -> target completion times,
+//   3. continuous time slot mapping: targets -> per-container queues,
+//   4. head-of-queue census: how many containers each job should hold next.
+
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/rush_config.h"
+#include "src/stats/pmf.h"
+#include "src/tas/onion_peeling.h"
+#include "src/tas/slot_mapping.h"
+#include "src/utility/utility_function.h"
+
+namespace rush {
+
+/// One job as seen by the planner: estimator outputs plus utility.
+struct PlannerJob {
+  JobId id = kInvalidJob;
+  /// Reference PMF phi of the remaining demand (container-seconds).
+  QuantizedPmf demand{1, 1.0};
+  /// Average container runtime R_i reported by the DE.
+  Seconds mean_runtime = 1.0;
+  /// Completed-task samples backing the PMF (drives adaptive delta).
+  std::size_t samples = 0;
+  /// Utility over absolute completion time (not owned).
+  const UtilityFunction* utility = nullptr;
+};
+
+struct PlanEntry {
+  JobId id = kInvalidJob;
+  /// Robust demand eta_i chosen by WCDE (container-seconds).
+  ContainerSeconds eta = 0.0;
+  /// Projected completion time (the web UI's "target completion" column).
+  Seconds target_completion = 0.0;
+  /// Utility level of the job's peeling layer.
+  Utility utility_level = 0.0;
+  /// The "red row": no completion time yields positive utility.
+  bool impossible = false;
+  /// Number of container queues whose head-of-line work belongs to this job
+  /// — the allocation RUSH wants the job to hold right now.
+  int desired_containers = 0;
+};
+
+struct Plan {
+  std::vector<PlanEntry> entries;
+  Seconds computed_at = 0.0;
+  /// Feasibility probes spent in onion peeling (benchmark aid).
+  long peel_probes = 0;
+
+  const PlanEntry* find(JobId id) const {
+    for (const PlanEntry& e : entries) {
+      if (e.id == id) return &e;
+    }
+    return nullptr;
+  }
+};
+
+class RushPlanner {
+ public:
+  explicit RushPlanner(RushConfig config);
+
+  /// Runs one full planning pass at absolute time `now` on a cluster of
+  /// `capacity` containers.
+  Plan plan(const std::vector<PlannerJob>& jobs, ContainerCount capacity,
+            Seconds now) const;
+
+  const RushConfig& config() const { return config_; }
+
+ private:
+  RushConfig config_;
+};
+
+}  // namespace rush

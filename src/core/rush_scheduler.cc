@@ -1,0 +1,129 @@
+#include "src/core/rush_scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace rush {
+
+RushScheduler::RushScheduler(RushConfig config)
+    : config_(std::move(config)), planner_(config_) {
+  config_.validate();
+}
+
+EstimatorPrior RushScheduler::effective_prior() const {
+  EstimatorPrior prior = config_.prior;
+  // Once the cluster has seen enough completed tasks overall, new jobs start
+  // from cluster-wide statistics instead of the static default — the same
+  // black-box learning spirit as the per-job DE, one level up.
+  if (global_runtimes_.count() >= config_.prior.min_samples && global_runtimes_.mean() > 0.0) {
+    prior.mean_runtime = global_runtimes_.mean();
+    prior.stddev_runtime = std::max(global_runtimes_.stddev(),
+                                    0.1 * global_runtimes_.mean());
+  }
+  return prior;
+}
+
+DistributionEstimator& RushScheduler::estimator_for(JobId job) {
+  auto it = estimators_.find(job);
+  if (it == estimators_.end()) {
+    it = estimators_.emplace(job, make_estimator(config_.estimator_kind, effective_prior()))
+             .first;
+  }
+  return *it->second;
+}
+
+void RushScheduler::on_job_arrival(const ClusterView& /*view*/, JobId job) {
+  estimator_for(job);
+  plan_dirty_ = true;
+}
+
+void RushScheduler::on_task_finished(const ClusterView& /*view*/, JobId job,
+                                     Seconds runtime, bool is_reduce) {
+  estimator_for(job).observe(runtime);
+  if (config_.phase_aware_estimation) {
+    auto it = phase_estimators_.find(job);
+    if (it == phase_estimators_.end()) {
+      it = phase_estimators_.emplace(job, PhaseAwareEstimator(effective_prior())).first;
+    }
+    it->second.observe(runtime, is_reduce);
+  }
+  global_runtimes_.add(runtime);
+  plan_dirty_ = true;
+}
+
+void RushScheduler::on_task_failed(const ClusterView& /*view*/, JobId /*job*/,
+                                   Seconds /*wasted*/) {
+  // The wasted attempt is not a runtime sample, but the job's remaining
+  // demand just changed (the task is pending again), so replan.
+  plan_dirty_ = true;
+}
+
+void RushScheduler::on_job_finished(const ClusterView& /*view*/, JobId job) {
+  estimators_.erase(job);
+  phase_estimators_.erase(job);
+  plan_dirty_ = true;
+}
+
+void RushScheduler::rebuild_plan(const ClusterView& view) {
+  std::vector<PlannerJob> jobs;
+  jobs.reserve(view.jobs.size());
+  for (const JobView& jv : view.jobs) {
+    PlannerJob pj;
+    pj.id = jv.id;
+    const auto phase_it = config_.phase_aware_estimation
+                              ? phase_estimators_.find(jv.id)
+                              : phase_estimators_.end();
+    if (phase_it != phase_estimators_.end()) {
+      const PhaseAwareEstimator& phase = phase_it->second;
+      pj.mean_runtime = phase.mean_runtime(jv.remaining_maps, jv.remaining_reduces);
+      pj.samples = phase.sample_count();
+      pj.demand =
+          phase.remaining_demand(jv.remaining_maps, jv.remaining_reduces, config_.bins);
+    } else {
+      DistributionEstimator& estimator = estimator_for(jv.id);
+      pj.mean_runtime = estimator.mean_runtime();
+      pj.samples = estimator.sample_count();
+      pj.demand = estimator.remaining_demand(jv.remaining_tasks(), config_.bins);
+    }
+    pj.utility = jv.utility;
+    jobs.push_back(std::move(pj));
+  }
+  plan_ = planner_.plan(jobs, view.capacity, view.now);
+  ++plans_computed_;
+  plan_dirty_ = false;
+}
+
+std::optional<JobId> RushScheduler::assign_container(const ClusterView& view) {
+  if (plan_dirty_ || plan_.computed_at != view.now) rebuild_plan(view);
+
+  // Grant the container to the dispatchable job with the largest gap
+  // between the planned allocation and what it currently holds (§IV, CA
+  // unit); ties go to the earlier target completion.  Stay work-conserving:
+  // some dispatchable job always gets the container.
+  const PlanEntry* best_entry = nullptr;
+  const JobView* best_view = nullptr;
+  int best_gap = 0;
+  for (const JobView& jv : view.jobs) {
+    if (jv.dispatchable_tasks <= 0) continue;
+    const PlanEntry* entry = plan_.find(jv.id);
+    // Jobs that arrived after the cached plan have no entry yet; treat them
+    // as wanting one container so they are not starved until the next
+    // replan.
+    const int desired = entry != nullptr ? entry->desired_containers : 1;
+    const int gap = desired - jv.running_tasks;
+    const bool better =
+        best_view == nullptr || gap > best_gap ||
+        (gap == best_gap && entry != nullptr && best_entry != nullptr &&
+         entry->target_completion < best_entry->target_completion);
+    if (better) {
+      best_entry = entry;
+      best_view = &jv;
+      best_gap = gap;
+    }
+  }
+  if (best_view == nullptr) return std::nullopt;
+  return best_view->id;
+}
+
+}  // namespace rush

@@ -1,0 +1,66 @@
+// The RUSH scheduler — the paper's contribution, packaged as a drop-in
+// Scheduler for the cluster (the way RUSH-YARN interfaces with the YARN
+// ResourceManager, §IV).
+//
+// Feedback cycle per scheduling event:
+//   DE units ingest completed-task runtimes  ->  reference demand PMFs
+//   -> WCDE -> onion peeling -> slot mapping  (one RushPlanner pass)
+//   -> the freed container goes to the job with the largest gap between its
+//      desired allocation (head-of-queue census) and what it holds now.
+//
+// The plan is cached within a timestamp: YARN fires one event per freed
+// container, and recomputing for each would redo identical work.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+
+#include "src/cluster/scheduler.h"
+#include "src/core/rush_planner.h"
+#include "src/estimator/distribution_estimator.h"
+#include "src/estimator/phase_estimator.h"
+#include "src/stats/summary.h"
+
+namespace rush {
+
+class RushScheduler final : public Scheduler {
+ public:
+  explicit RushScheduler(RushConfig config = {});
+
+  std::string name() const override { return "RUSH"; }
+  std::optional<JobId> assign_container(const ClusterView& view) override;
+  void on_job_arrival(const ClusterView& view, JobId job) override;
+  void on_task_finished(const ClusterView& view, JobId job, Seconds runtime,
+                        bool is_reduce) override;
+  void on_task_failed(const ClusterView& view, JobId job, Seconds wasted) override;
+  void on_job_finished(const ClusterView& view, JobId job) override;
+
+  /// The most recent plan (projected completion times, impossible flags) —
+  /// what the RUSH web UI of Fig 2 renders.
+  const Plan& current_plan() const { return plan_; }
+
+  /// Total planning passes executed (overhead accounting, Fig 5).
+  long plans_computed() const { return plans_computed_; }
+
+ private:
+  DistributionEstimator& estimator_for(JobId job);
+  void rebuild_plan(const ClusterView& view);
+  /// Cluster-wide runtime statistics used to prime a job's prior before it
+  /// has samples of its own.
+  EstimatorPrior effective_prior() const;
+
+  RushConfig config_;
+  RushPlanner planner_;
+  std::unordered_map<JobId, std::unique_ptr<DistributionEstimator>> estimators_;
+  /// Per-phase moments, maintained alongside the pooled estimator when
+  /// config_.phase_aware_estimation is set.
+  std::unordered_map<JobId, PhaseAwareEstimator> phase_estimators_;
+  OnlineStats global_runtimes_;
+  Plan plan_;
+  bool plan_dirty_ = true;
+  long plans_computed_ = 0;
+};
+
+}  // namespace rush

@@ -1,0 +1,166 @@
+#include "src/estimator/distribution_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace rush {
+namespace {
+
+/// Bin width so that `span` container-seconds fit in `bins` bins with 25%
+/// headroom; never degenerate.
+double bin_width_for(double span, std::size_t bins) {
+  return std::max(span * 1.25 / static_cast<double>(bins), 1e-6);
+}
+
+}  // namespace
+
+MeanTimeEstimator::MeanTimeEstimator(EstimatorPrior prior) : prior_(prior) {
+  require(prior.mean_runtime > 0.0, "MeanTimeEstimator: non-positive prior mean");
+}
+
+void MeanTimeEstimator::observe(Seconds runtime) {
+  require(runtime >= 0.0, "MeanTimeEstimator::observe: negative runtime");
+  stats_.add(runtime);
+}
+
+Seconds MeanTimeEstimator::mean_runtime() const {
+  if (stats_.count() < prior_.min_samples) return prior_.mean_runtime;
+  return stats_.mean();
+}
+
+QuantizedPmf MeanTimeEstimator::remaining_demand(int remaining_tasks,
+                                                 std::size_t bins) const {
+  require(remaining_tasks >= 0, "remaining_demand: negative task count");
+  const double total = mean_runtime() * static_cast<double>(std::max(remaining_tasks, 1));
+  return QuantizedPmf::impulse(total, bins, bin_width_for(total, bins));
+}
+
+GaussianEstimator::GaussianEstimator(EstimatorPrior prior) : prior_(prior) {
+  require(prior.mean_runtime > 0.0, "GaussianEstimator: non-positive prior mean");
+  require(prior.stddev_runtime >= 0.0, "GaussianEstimator: negative prior stddev");
+}
+
+void GaussianEstimator::observe(Seconds runtime) {
+  require(runtime >= 0.0, "GaussianEstimator::observe: negative runtime");
+  stats_.add(runtime);
+}
+
+Seconds GaussianEstimator::mean_runtime() const {
+  if (stats_.count() < prior_.min_samples) return prior_.mean_runtime;
+  return stats_.mean();
+}
+
+Seconds GaussianEstimator::stddev_runtime() const {
+  if (stats_.count() < prior_.min_samples) return prior_.stddev_runtime;
+  return stats_.stddev();
+}
+
+QuantizedPmf GaussianEstimator::remaining_demand(int remaining_tasks,
+                                                 std::size_t bins) const {
+  require(remaining_tasks >= 0, "remaining_demand: negative task count");
+  const auto n = static_cast<double>(std::max(remaining_tasks, 1));
+  const double mean = n * mean_runtime();
+  const double stddev = std::sqrt(n) * stddev_runtime();
+  const double span = mean + 6.0 * stddev;
+  return QuantizedPmf::gaussian(mean, stddev, bins, bin_width_for(span, bins));
+}
+
+BootstrapEstimator::BootstrapEstimator(EstimatorPrior prior, std::size_t resamples,
+                                       std::uint64_t seed)
+    : prior_(prior), resamples_(resamples), seed_(seed) {
+  require(resamples > 0, "BootstrapEstimator: need at least one resample");
+}
+
+void BootstrapEstimator::observe(Seconds runtime) {
+  require(runtime >= 0.0, "BootstrapEstimator::observe: negative runtime");
+  samples_.push_back(runtime);
+  stats_.add(runtime);
+}
+
+Seconds BootstrapEstimator::mean_runtime() const {
+  if (stats_.count() < prior_.min_samples) return prior_.mean_runtime;
+  return stats_.mean();
+}
+
+QuantizedPmf BootstrapEstimator::remaining_demand(int remaining_tasks,
+                                                  std::size_t bins) const {
+  require(remaining_tasks >= 0, "remaining_demand: negative task count");
+  const auto n = static_cast<std::size_t>(std::max(remaining_tasks, 1));
+  if (samples_.size() < prior_.min_samples) {
+    // Not enough data to resample; degrade to the Gaussian prior.
+    const double mean = static_cast<double>(n) * prior_.mean_runtime;
+    const double stddev = std::sqrt(static_cast<double>(n)) * prior_.stddev_runtime;
+    return QuantizedPmf::gaussian(mean, stddev, bins, bin_width_for(mean + 6 * stddev, bins));
+  }
+  // Seed depends only on (seed_, sample count, n) so repeated queries in the
+  // same state are identical — schedulers may probe several times per event.
+  Rng rng(seed_ ^ (samples_.size() * 0x9E37u) ^ (n * 0x85EBu));
+  std::vector<double> sums(resamples_, 0.0);
+  double max_sum = 0.0;
+  for (double& sum : sums) {
+    for (std::size_t t = 0; t < n; ++t) {
+      sum += samples_[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(samples_.size()) - 1))];
+    }
+    max_sum = std::max(max_sum, sum);
+  }
+  QuantizedPmf pmf(bins, bin_width_for(max_sum, bins));
+  for (double sum : sums) pmf.add_mass_at(sum, 1.0);
+  pmf.normalize();
+  return pmf;
+}
+
+EwmaEstimator::EwmaEstimator(EstimatorPrior prior, double alpha)
+    : prior_(prior), alpha_(alpha) {
+  require(alpha > 0.0 && alpha <= 1.0, "EwmaEstimator: alpha must be in (0,1]");
+  require(prior.mean_runtime > 0.0, "EwmaEstimator: non-positive prior mean");
+}
+
+void EwmaEstimator::observe(Seconds runtime) {
+  require(runtime >= 0.0, "EwmaEstimator::observe: negative runtime");
+  if (count_ == 0) {
+    mean_ = runtime;
+    var_ = 0.0;
+  } else {
+    // Standard EWMA mean/variance recursion (West 1979).
+    const double diff = runtime - mean_;
+    const double incr = alpha_ * diff;
+    mean_ += incr;
+    var_ = (1.0 - alpha_) * (var_ + diff * incr);
+  }
+  ++count_;
+}
+
+Seconds EwmaEstimator::mean_runtime() const {
+  if (count_ < prior_.min_samples) return prior_.mean_runtime;
+  return mean_;
+}
+
+Seconds EwmaEstimator::stddev_runtime() const {
+  if (count_ < prior_.min_samples) return prior_.stddev_runtime;
+  return std::sqrt(var_);
+}
+
+QuantizedPmf EwmaEstimator::remaining_demand(int remaining_tasks,
+                                             std::size_t bins) const {
+  require(remaining_tasks >= 0, "remaining_demand: negative task count");
+  const auto n = static_cast<double>(std::max(remaining_tasks, 1));
+  const double mean = n * mean_runtime();
+  const double stddev = std::sqrt(n) * stddev_runtime();
+  const double span = mean + 6.0 * stddev;
+  return QuantizedPmf::gaussian(mean, stddev, bins, bin_width_for(span, bins));
+}
+
+std::unique_ptr<DistributionEstimator> make_estimator(const std::string& kind,
+                                                      EstimatorPrior prior) {
+  if (kind == "mean") return std::make_unique<MeanTimeEstimator>(prior);
+  if (kind == "gaussian") return std::make_unique<GaussianEstimator>(prior);
+  if (kind == "bootstrap") return std::make_unique<BootstrapEstimator>(prior);
+  if (kind == "ewma") return std::make_unique<EwmaEstimator>(prior);
+  throw InvalidInput("make_estimator: unknown estimator class '" + kind + "'");
+}
+
+}  // namespace rush

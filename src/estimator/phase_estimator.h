@@ -1,0 +1,54 @@
+// Phase-aware demand estimation (extension).
+//
+// MapReduce jobs mix two very different task populations: many short maps
+// and a few long reduces (TeraSort's reduces run ~3x its maps).  A single
+// pooled estimator averages them, so a job entering its reduce phase has
+// its remaining demand badly underestimated right when its deadline is
+// closest.  PhaseAwareEstimator keeps separate moments per phase and
+// composes the remaining-demand distribution as the sum of two independent
+// Gaussians — the same CLT argument the paper's Gaussian estimator uses,
+// applied per phase.
+
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/types.h"
+#include "src/estimator/distribution_estimator.h"
+#include "src/stats/pmf.h"
+#include "src/stats/summary.h"
+
+namespace rush {
+
+class PhaseAwareEstimator {
+ public:
+  explicit PhaseAwareEstimator(EstimatorPrior prior = {});
+
+  /// Feeds one completed-task runtime tagged with its phase.
+  void observe(Seconds runtime, bool is_reduce);
+
+  std::size_t sample_count() const { return maps_.count() + reduces_.count(); }
+
+  /// Average container runtime R_i over the remaining work mix (weighted by
+  /// remaining task counts; falls back to the pooled mean, then the prior).
+  Seconds mean_runtime(int remaining_maps, int remaining_reduces) const;
+
+  /// Reference PMF of the remaining demand: sum of the two phases' CLT
+  /// Gaussians, N(m_map + m_red, v_map + v_red).
+  QuantizedPmf remaining_demand(int remaining_maps, int remaining_reduces,
+                                std::size_t bins) const;
+
+  Seconds map_mean() const;
+  Seconds reduce_mean() const;
+
+ private:
+  /// Moments of one phase, with cross-phase and prior fallbacks.
+  Seconds phase_mean(const OnlineStats& phase, const OnlineStats& other) const;
+  Seconds phase_stddev(const OnlineStats& phase, const OnlineStats& other) const;
+
+  EstimatorPrior prior_;
+  OnlineStats maps_;
+  OnlineStats reduces_;
+};
+
+}  // namespace rush

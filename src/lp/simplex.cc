@@ -1,0 +1,213 @@
+#include "src/lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Tableau for the standard-form problem after adding slack/surplus and
+/// artificial variables.  Row 0..m-1 are constraints; the objective rows
+/// are kept separately.
+struct Tableau {
+  std::size_t rows = 0;   // constraints
+  std::size_t cols = 0;   // structural + slack/surplus + artificial
+  std::vector<double> a;  // rows x cols
+  std::vector<double> b;  // rhs per row
+  std::vector<std::size_t> basis;  // basic variable per row
+
+  double& at(std::size_t r, std::size_t c) { return a[r * cols + c]; }
+  double at(std::size_t r, std::size_t c) const { return a[r * cols + c]; }
+
+  /// Pivots on (row, col): row-reduces so column `col` becomes unit.
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = at(row, col);
+    ensure(std::abs(p) > kEps, "simplex: pivot on ~zero element");
+    for (std::size_t c = 0; c < cols; ++c) at(row, c) /= p;
+    b[row] /= p;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == row) continue;
+      const double f = at(r, col);
+      if (std::abs(f) < kEps) continue;
+      for (std::size_t c = 0; c < cols; ++c) at(r, c) -= f * at(row, c);
+      b[r] -= f * b[row];
+    }
+    basis[row] = col;
+  }
+};
+
+/// Runs primal simplex on the tableau maximising `costs` over the columns
+/// in [0, usable_cols).  Returns false when unbounded.  Bland's rule.
+bool run_simplex(Tableau& t, const std::vector<double>& costs,
+                 std::size_t usable_cols) {
+  for (;;) {
+    // Reduced costs: c_j - c_B' B^{-1} A_j; with the tableau kept reduced,
+    // compute z_j from the basis costs.
+    std::size_t entering = usable_cols;
+    for (std::size_t j = 0; j < usable_cols; ++j) {
+      double z = 0.0;
+      for (std::size_t r = 0; r < t.rows; ++r) z += costs[t.basis[r]] * t.at(r, j);
+      const double reduced = costs[j] - z;
+      if (reduced > kEps) {  // Bland: first improving column
+        entering = j;
+        break;
+      }
+    }
+    if (entering == usable_cols) return true;  // optimal
+
+    // Ratio test, Bland tie-break on smallest basis variable index.
+    std::size_t leaving = t.rows;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < t.rows; ++r) {
+      const double coef = t.at(r, entering);
+      if (coef <= kEps) continue;
+      const double ratio = t.b[r] / coef;
+      if (ratio < best_ratio - kEps ||
+          (ratio < best_ratio + kEps &&
+           (leaving == t.rows || t.basis[r] < t.basis[leaving]))) {
+        best_ratio = ratio;
+        leaving = r;
+      }
+    }
+    if (leaving == t.rows) return false;  // unbounded
+    t.pivot(leaving, entering);
+  }
+}
+
+}  // namespace
+
+LpProblem::LpProblem(std::vector<double> objective) : objective_(std::move(objective)) {
+  require(!objective_.empty(), "LpProblem: need at least one variable");
+}
+
+void LpProblem::add_constraint(std::vector<double> coefficients, LpSense sense,
+                               double rhs) {
+  require(coefficients.size() == variables(),
+          "LpProblem::add_constraint: coefficient arity mismatch");
+  constraints_.push_back({std::move(coefficients), sense, rhs});
+}
+
+LpSolution LpProblem::solve() const {
+  const std::size_t n = variables();
+  const std::size_t m = constraints_.size();
+
+  // Column layout: [structural n][one slack/surplus per inequality]
+  // [one artificial per row that needs one].
+  std::size_t slack_count = 0;
+  for (const LpConstraint& c : constraints_) {
+    if (c.sense != LpSense::kEqual) ++slack_count;
+  }
+
+  // Normalise rows to b >= 0 first, then decide artificials.
+  struct Row {
+    std::vector<double> coef;
+    LpSense sense;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(m);
+  for (const LpConstraint& c : constraints_) {
+    Row row{c.coefficients, c.sense, c.rhs};
+    if (row.rhs < 0.0) {
+      for (double& v : row.coef) v = -v;
+      row.rhs = -row.rhs;
+      if (row.sense == LpSense::kLessEqual) {
+        row.sense = LpSense::kGreaterEqual;
+      } else if (row.sense == LpSense::kGreaterEqual) {
+        row.sense = LpSense::kLessEqual;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::size_t artificial_count = 0;
+  for (const Row& row : rows) {
+    if (row.sense != LpSense::kLessEqual) ++artificial_count;
+  }
+
+  Tableau t;
+  t.rows = m;
+  t.cols = n + slack_count + artificial_count;
+  t.a.assign(t.rows * t.cols, 0.0);
+  t.b.assign(m, 0.0);
+  t.basis.assign(m, 0);
+
+  std::size_t slack_col = n;
+  std::size_t artificial_col = n + slack_count;
+  for (std::size_t r = 0; r < m; ++r) {
+    const Row& row = rows[r];
+    for (std::size_t j = 0; j < n; ++j) t.at(r, j) = row.coef[j];
+    t.b[r] = row.rhs;
+    switch (row.sense) {
+      case LpSense::kLessEqual:
+        t.at(r, slack_col) = 1.0;
+        t.basis[r] = slack_col++;
+        break;
+      case LpSense::kGreaterEqual:
+        t.at(r, slack_col) = -1.0;
+        ++slack_col;
+        t.at(r, artificial_col) = 1.0;
+        t.basis[r] = artificial_col++;
+        break;
+      case LpSense::kEqual:
+        t.at(r, artificial_col) = 1.0;
+        t.basis[r] = artificial_col++;
+        break;
+    }
+  }
+
+  LpSolution solution;
+
+  if (artificial_count > 0) {
+    // Phase 1: maximise -(sum of artificials).
+    std::vector<double> phase1(t.cols, 0.0);
+    for (std::size_t j = n + slack_count; j < t.cols; ++j) phase1[j] = -1.0;
+    const bool bounded = run_simplex(t, phase1, t.cols);
+    ensure(bounded, "simplex: phase 1 unbounded (impossible)");
+    double infeasibility = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (t.basis[r] >= n + slack_count) infeasibility += t.b[r];
+    }
+    if (infeasibility > 1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive any artificial still in the basis (at zero level) out of it.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (t.basis[r] < n + slack_count) continue;
+      std::size_t col = n + slack_count;
+      for (std::size_t j = 0; j < n + slack_count; ++j) {
+        if (std::abs(t.at(r, j)) > kEps) {
+          col = j;
+          break;
+        }
+      }
+      if (col < n + slack_count) t.pivot(r, col);
+      // Otherwise the row is all-zero (redundant constraint); harmless.
+    }
+  }
+
+  // Phase 2: maximise the real objective over structural + slack columns.
+  std::vector<double> phase2(t.cols, 0.0);
+  for (std::size_t j = 0; j < n; ++j) phase2[j] = objective_[j];
+  if (!run_simplex(t, phase2, n + slack_count)) {
+    solution.status = LpStatus::kUnbounded;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis[r] < n) solution.x[t.basis[r]] = t.b[r];
+  }
+  solution.objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j) solution.objective += objective_[j] * solution.x[j];
+  return solution;
+}
+
+}  // namespace rush

@@ -1,0 +1,61 @@
+// Dense two-phase simplex solver.
+//
+// The paper notes (§III-B) that the TAS problem "can be transformed and
+// efficiently solved using linear programming techniques (e.g., simplex
+// method)" — its predecessor system CoRa [3] did exactly that — but that
+// the per-job-per-slot variables make LP too slow at scale, motivating
+// onion peeling.  This solver is that reference path: a small, exact,
+// dependency-free simplex used (a) to cross-check the analytic EDF
+// feasibility test and (b) in the solver ablation bench.
+//
+// Form solved:   maximize c'x   subject to   constraints,  x >= 0
+// with each constraint  a'x (<=|=|>=) b.  Implementation: big-tableau
+// two-phase primal simplex with Bland's anti-cycling rule.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rush {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+enum class LpSense { kLessEqual, kEqual, kGreaterEqual };
+
+struct LpConstraint {
+  std::vector<double> coefficients;  // one per variable
+  LpSense sense = LpSense::kLessEqual;
+  double rhs = 0.0;
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  /// Objective value (only meaningful when status == kOptimal).
+  double objective = 0.0;
+  /// Primal solution, size = number of variables.
+  std::vector<double> x;
+};
+
+class LpProblem {
+ public:
+  /// A problem over `variables` non-negative variables with the given
+  /// maximisation objective (pad with zeros for "feasibility only").
+  explicit LpProblem(std::vector<double> objective);
+
+  std::size_t variables() const { return objective_.size(); }
+
+  /// Adds a'x (sense) b.  `coefficients` must have one entry per variable;
+  /// rhs may be any sign.
+  void add_constraint(std::vector<double> coefficients, LpSense sense, double rhs);
+
+  /// Solves with two-phase simplex.  Deterministic; Bland's rule guarantees
+  /// termination.
+  [[nodiscard]] LpSolution solve() const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<LpConstraint> constraints_;
+};
+
+}  // namespace rush

@@ -1,0 +1,80 @@
+#include "src/lp/tas_lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+#include "src/lp/simplex.h"
+
+namespace rush {
+
+bool lp_deadline_feasible(const std::vector<LpDeadlineJob>& jobs,
+                          ContainerCount capacity, Seconds now) {
+  require(capacity > 0, "lp_deadline_feasible: capacity must be positive");
+  std::vector<LpDeadlineJob> active;
+  for (const LpDeadlineJob& j : jobs) {
+    if (j.eta <= 0.0) continue;
+    require(j.deadline >= now, "lp_deadline_feasible: deadline before now");
+    active.push_back(j);
+  }
+  if (active.empty()) return true;
+
+  // Period boundaries at the distinct deadlines.
+  std::vector<Seconds> boundaries;
+  boundaries.reserve(active.size());
+  for (const LpDeadlineJob& j : active) boundaries.push_back(j.deadline);
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end(),
+                               [](Seconds a, Seconds b) { return b - a < 1e-12; }),
+                   boundaries.end());
+
+  const std::size_t n = active.size();
+  const std::size_t periods = boundaries.size();
+  // Variable layout: x[i * periods + p].
+  const std::size_t vars = n * periods;
+  LpProblem lp(std::vector<double>(vars, 0.0));  // pure feasibility
+
+  // Demand rows: sum over periods ending at or before the job's deadline.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(vars, 0.0);
+    for (std::size_t p = 0; p < periods; ++p) {
+      if (boundaries[p] <= active[i].deadline + 1e-12) row[i * periods + p] = 1.0;
+    }
+    lp.add_constraint(std::move(row), LpSense::kGreaterEqual, active[i].eta);
+  }
+  // Capacity rows.
+  Seconds period_start = now;
+  for (std::size_t p = 0; p < periods; ++p) {
+    std::vector<double> row(vars, 0.0);
+    for (std::size_t i = 0; i < n; ++i) row[i * periods + p] = 1.0;
+    lp.add_constraint(std::move(row), LpSense::kLessEqual,
+                      static_cast<double>(capacity) * (boundaries[p] - period_start));
+    period_start = boundaries[p];
+  }
+
+  return lp.solve().status == LpStatus::kOptimal;
+}
+
+bool edf_deadline_feasible(const std::vector<LpDeadlineJob>& jobs,
+                           ContainerCount capacity, Seconds now) {
+  require(capacity > 0, "edf_deadline_feasible: capacity must be positive");
+  std::vector<std::pair<Seconds, double>> work;
+  for (const LpDeadlineJob& j : jobs) {
+    if (j.eta <= 0.0) continue;
+    require(j.deadline >= now, "edf_deadline_feasible: deadline before now");
+    work.emplace_back(j.deadline, j.eta);
+  }
+  std::sort(work.begin(), work.end());
+  double load = 0.0;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    load += work[i].second;
+    const bool boundary = i + 1 == work.size() || work[i + 1].first > work[i].first;
+    if (boundary &&
+        load > static_cast<double>(capacity) * (work[i].first - now) + 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rush

@@ -1,0 +1,41 @@
+// LP formulation of the TAS deadline-feasibility test (the CoRa [3] path
+// the paper compares onion peeling against).
+//
+// Given per-job deadlines and robust demands, feasibility of serving every
+// demand by its deadline on C containers is an allocation LP: divide the
+// horizon into periods at the distinct deadlines, let x_{i,p} be the
+// container-seconds job i receives in period p, and require
+//     sum_{p : end(p) <= d_i} x_{i,p} >= eta_i      (demand by deadline)
+//     sum_i x_{i,p} <= C * length(p)                (capacity per period)
+// This is exactly the condition the analytic preemptive-EDF check in
+// src/tas decides in O(N log N); the LP route costs O((N^2)^3)-ish tableau
+// pivots and exists here as a correctness cross-check and for the solver
+// ablation bench.
+
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace rush {
+
+/// One job for the feasibility question.
+struct LpDeadlineJob {
+  Seconds deadline = 0.0;        // absolute
+  ContainerSeconds eta = 0.0;    // demand to serve before the deadline
+};
+
+/// True when all demands can be served by their deadlines starting at
+/// `now` on `capacity` containers (divisible demand).  Throws InvalidInput
+/// on deadlines before now with positive demand.
+bool lp_deadline_feasible(const std::vector<LpDeadlineJob>& jobs,
+                          ContainerCount capacity, Seconds now);
+
+/// The same question answered analytically (prefix EDF condition); exposed
+/// so tests and the ablation can compare both on identical inputs.
+bool edf_deadline_feasible(const std::vector<LpDeadlineJob>& jobs,
+                           ContainerCount capacity, Seconds now);
+
+}  // namespace rush

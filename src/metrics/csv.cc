@@ -1,0 +1,34 @@
+#include "src/metrics/csv.h"
+
+#include "src/common/error.h"
+
+namespace rush {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
+    : out_(path), arity_(headers.size()) {
+  require(out_.good(), "CsvWriter: cannot open '" + path + "'");
+  require(arity_ > 0, "CsvWriter: need at least one column");
+  add_row(headers);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  require(cells.size() == arity_, "CsvWriter: row arity mismatch");
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c != 0) out_ << ',';
+    out_ << escape(cells[c]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace rush

@@ -1,0 +1,26 @@
+// CSV output so benchmark series can be re-plotted outside the console.
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rush {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Quotes a field per RFC 4180 when it contains separators/quotes.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace rush

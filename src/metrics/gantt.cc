@@ -1,0 +1,90 @@
+#include "src/metrics/gantt.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+char job_glyph(JobId job) {
+  static const char* glyphs = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return glyphs[static_cast<std::size_t>(job) % 36];
+}
+
+}  // namespace
+
+std::string render_gantt(const TraceRecorder& trace, ContainerCount capacity,
+                         const GanttOptions& options) {
+  require(capacity > 0, "render_gantt: capacity must be positive");
+  require(options.width > 0, "render_gantt: width must be positive");
+
+  const auto& events = trace.events();
+  Seconds horizon = 0.0;
+  for (const TraceEvent& e : events) horizon = std::max(horizon, e.time);
+  const int rows = options.max_containers > 0
+                       ? std::min<int>(options.max_containers, capacity)
+                       : capacity;
+  if (horizon <= 0.0) return "(empty trace)\n";
+
+  const double bucket = horizon / options.width;
+  // grid[row][col] = job occupying most of the bucket; -1 idle.
+  std::vector<std::vector<JobId>> grid(
+      static_cast<std::size_t>(rows),
+      std::vector<JobId>(static_cast<std::size_t>(options.width), kInvalidJob));
+
+  // Reconstruct per-container intervals by pairing starts with the next
+  // finish/failure/kill on the same container.
+  std::map<int, std::pair<Seconds, JobId>> open;  // container -> (start, job)
+  const auto paint = [&](int container, Seconds from, Seconds to, JobId job) {
+    if (container >= rows) return;
+    auto first = static_cast<int>(from / bucket);
+    auto last = static_cast<int>(to / bucket);
+    first = std::clamp(first, 0, options.width - 1);
+    last = std::clamp(last, 0, options.width - 1);
+    for (int c = first; c <= last; ++c) {
+      grid[static_cast<std::size_t>(container)][static_cast<std::size_t>(c)] = job;
+    }
+  };
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceKind::kTaskStart:
+        open[e.container] = {e.time, e.job};
+        break;
+      case TraceKind::kTaskFinish:
+      case TraceKind::kTaskFailure:
+      case TraceKind::kTaskKilled: {
+        const auto it = open.find(e.container);
+        if (it != open.end()) {
+          paint(e.container, it->second.first, e.time, it->second.second);
+          open.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (const auto& [container, span] : open) {
+    paint(container, span.first, horizon, span.second);  // still running
+  }
+
+  std::ostringstream out;
+  out << "t=0" << std::string(static_cast<std::size_t>(options.width - 4), ' ')
+      << "t=" << static_cast<long>(horizon) << "s\n";
+  for (int r = 0; r < rows; ++r) {
+    out << 'c' << r << (r < 10 ? " |" : "|");
+    for (int c = 0; c < options.width; ++c) {
+      const JobId job = grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+      out << (job == kInvalidJob ? '.' : job_glyph(job));
+    }
+    out << "|\n";
+  }
+  out << "legend: cells are job ids 0-9A-Z (mod 36), '.' = idle\n";
+  return out.str();
+}
+
+}  // namespace rush

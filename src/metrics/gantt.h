@@ -1,0 +1,28 @@
+// ASCII Gantt rendering of an execution trace: one row per container, time
+// bucketed into fixed-width cells, each cell showing the job that occupied
+// the container for most of that bucket ('.' = idle, lowercase = a killed
+// or failed attempt's occupancy).  Gives a terminal-sized picture of how a
+// scheduler packs the cluster.
+
+#pragma once
+
+#include <string>
+
+#include "src/common/types.h"
+#include "src/metrics/trace.h"
+
+namespace rush {
+
+struct GanttOptions {
+  /// Character cells across the time axis.
+  int width = 78;
+  /// Containers rendered (first N); <= 0 means all.
+  int max_containers = 0;
+};
+
+/// Renders the trace; returns a multi-line string ending in a legend.
+/// Jobs are labelled 0-9 then A-Z, cycling.
+std::string render_gantt(const TraceRecorder& trace, ContainerCount capacity,
+                         const GanttOptions& options = {});
+
+}  // namespace rush

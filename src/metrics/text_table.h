@@ -1,0 +1,32 @@
+// Console rendering: aligned text tables (benchmark output rows matching
+// the paper's figures) and a tiny horizontal ASCII bar helper for CDFs.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rush {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Numeric convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A proportional bar of `width` characters for value in [0, 1].
+std::string ascii_bar(double fraction, int width = 40);
+
+}  // namespace rush

@@ -1,0 +1,96 @@
+#include "src/metrics/trace.h"
+
+#include "src/common/error.h"
+#include "src/metrics/csv.h"
+
+namespace rush {
+
+std::string to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kJobArrival:
+      return "job_arrival";
+    case TraceKind::kTaskStart:
+      return "task_start";
+    case TraceKind::kTaskFinish:
+      return "task_finish";
+    case TraceKind::kTaskFailure:
+      return "task_failure";
+    case TraceKind::kTaskKilled:
+      return "task_killed";
+    case TraceKind::kJobFinish:
+      return "job_finish";
+  }
+  return "unknown";
+}
+
+void TraceRecorder::on_job_arrival(Seconds now, JobId job, const std::string& name) {
+  events_.push_back({now, TraceKind::kJobArrival, job, -1, 0.0, name});
+}
+
+void TraceRecorder::on_task_start(Seconds now, JobId job, int container,
+                                  bool is_reduce) {
+  events_.push_back(
+      {now, TraceKind::kTaskStart, job, container, 0.0, is_reduce ? "reduce" : "map"});
+}
+
+void TraceRecorder::on_task_finish(Seconds now, JobId job, int container,
+                                   Seconds runtime, bool is_reduce) {
+  events_.push_back({now, TraceKind::kTaskFinish, job, container, runtime,
+                     is_reduce ? "reduce" : "map"});
+}
+
+void TraceRecorder::on_task_failure(Seconds now, JobId job, int container,
+                                    Seconds wasted) {
+  events_.push_back({now, TraceKind::kTaskFailure, job, container, wasted, ""});
+}
+
+void TraceRecorder::on_task_killed(Seconds now, JobId job, int container) {
+  events_.push_back({now, TraceKind::kTaskKilled, job, container, 0.0, ""});
+}
+
+void TraceRecorder::on_job_finish(Seconds now, JobId job, Utility utility) {
+  events_.push_back({now, TraceKind::kJobFinish, job, -1, utility, ""});
+}
+
+std::size_t TraceRecorder::count(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+Seconds TraceRecorder::busy_seconds() const {
+  Seconds total = 0.0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == TraceKind::kTaskFinish) total += e.value;
+  }
+  return total;
+}
+
+Seconds TraceRecorder::wasted_seconds() const {
+  Seconds total = 0.0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == TraceKind::kTaskFailure) total += e.value;
+  }
+  return total;
+}
+
+double TraceRecorder::utilization(ContainerCount capacity) const {
+  require(capacity > 0, "TraceRecorder::utilization: capacity must be positive");
+  if (events_.empty()) return 0.0;
+  const Seconds horizon = events_.back().time;
+  if (horizon <= 0.0) return 0.0;
+  return (busy_seconds() + wasted_seconds()) /
+         (static_cast<double>(capacity) * horizon);
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  CsvWriter csv(path, {"time", "kind", "job", "container", "value", "label"});
+  for (const TraceEvent& e : events_) {
+    csv.add_row({std::to_string(e.time), to_string(e.kind), std::to_string(e.job),
+                 std::to_string(e.container), std::to_string(e.value), e.label});
+  }
+}
+
+}  // namespace rush

@@ -1,0 +1,53 @@
+#include "src/robust/rem.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.h"
+
+namespace rush {
+
+double rem_min_kl(double reference_cdf_at_bin, double theta) {
+  require(theta > 0.0 && theta < 1.0, "rem_min_kl: theta must be in (0,1)");
+  const double s = reference_cdf_at_bin;
+  require(s >= -1e-12 && s <= 1.0 + 1e-12, "rem_min_kl: CDF value outside [0,1]");
+  if (s <= theta) return 0.0;  // phi already satisfies CDF(L) <= theta
+  if (s >= 1.0) {
+    // phi has no mass above L; no distribution in phi's support can move
+    // mass past L, so the constraint is unreachable at finite divergence.
+    return std::numeric_limits<double>::infinity();
+  }
+  return theta * std::log(theta / s) + (1.0 - theta) * std::log((1.0 - theta) / (1.0 - s));
+}
+
+RemResult solve_rem(const QuantizedPmf& phi, std::size_t bin, double theta) {
+  require(phi.is_normalized(1e-6), "solve_rem: phi must be normalised");
+  require(bin < phi.bins(), "solve_rem: bin out of range");
+  require(theta > 0.0 && theta < 1.0, "solve_rem: theta must be in (0,1)");
+
+  const double s = phi.cdf(bin);
+  QuantizedPmf p(phi.bins(), phi.bin_width());
+
+  if (s <= theta) {
+    // Constraint (10) already holds; p = phi is optimal with KL = 0
+    // (Algorithm 1, line 2).
+    for (std::size_t l = 0; l < phi.bins(); ++l) p.set_mass(l, phi.mass(l));
+    return {std::move(p), 0.0};
+  }
+  if (s >= 1.0) {
+    // No feasible reweighting exists inside phi's support.
+    for (std::size_t l = 0; l < phi.bins(); ++l) p.set_mass(l, phi.mass(l));
+    return {std::move(p), std::numeric_limits<double>::infinity()};
+  }
+
+  // Algorithm 1, lines 4-5: scale the head to mass theta and the tail to
+  // mass 1-theta (eq. (11) with the multipliers eliminated).
+  const double head_scale = theta / s;
+  const double tail_scale = (1.0 - theta) / (1.0 - s);
+  for (std::size_t l = 0; l < phi.bins(); ++l) {
+    p.set_mass(l, phi.mass(l) * (l <= bin ? head_scale : tail_scale));
+  }
+  return {std::move(p), rem_min_kl(s, theta)};
+}
+
+}  // namespace rush

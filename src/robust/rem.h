@@ -1,0 +1,41 @@
+// Relative Entropy Minimisation — Algorithm 1 of the paper.
+//
+// Inner step of the WCDE bisection: given a reference PMF phi, a candidate
+// objective value L (a bin index) and the percentile theta, find the
+// distribution p closest to phi (in KL divergence) among those with
+// CDF_p(L) <= theta.  The KKT conditions give the closed form of eq. (11):
+// p is phi rescaled to total mass theta on bins [0, L] and 1-theta on
+// (L, tau_max].  Theorem 1: this is optimal.
+
+#pragma once
+
+#include <cstddef>
+
+#include "src/stats/pmf.h"
+
+namespace rush {
+
+struct RemResult {
+  /// The minimising distribution p_{i,l} (normalised).
+  QuantizedPmf worst_case;
+  /// KL(p || phi); +infinity when no feasible p exists within phi's support
+  /// (i.e. phi has no mass above L, so mass cannot be pushed past L).
+  double kl;
+};
+
+/// Solves REM for one job.  `phi` must be normalised; `bin` is the candidate
+/// objective value L as a bin index.
+RemResult solve_rem(const QuantizedPmf& phi, std::size_t bin, double theta);
+
+/// The optimal REM objective value without materialising p.
+///
+/// With p proportional to phi on each side of L, the divergence collapses to
+/// the *binary* KL divergence between (theta, 1-theta) and (S_L, 1-S_L),
+/// where S_L = CDF_phi(L):
+///     minKL(L) = theta*ln(theta/S_L) + (1-theta)*ln((1-theta)/(1-S_L))
+/// when S_L > theta, and 0 otherwise (phi itself is feasible).
+/// Given the prefix CDF of phi this is O(1), which makes the WCDE bisection
+/// O(log bins) after one O(bins) pass.
+double rem_min_kl(double reference_cdf_at_bin, double theta);
+
+}  // namespace rush

@@ -1,0 +1,55 @@
+#include "src/robust/wcde.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+#include "src/robust/rem.h"
+
+namespace rush {
+
+WcdeResult solve_wcde(const QuantizedPmf& phi, double theta, double delta) {
+  require(theta > 0.0 && theta < 1.0, "solve_wcde: theta must be in (0,1)");
+  require(delta >= 0.0, "solve_wcde: delta must be non-negative");
+
+  QuantizedPmf reference = phi;
+  reference.normalize();
+  const std::vector<double> prefix = reference.prefix_cdf();
+  const auto last = static_cast<std::ptrdiff_t>(reference.bins()) - 1;
+
+  // feasible(L): some distribution within the KL ball keeps CDF(L) <= theta,
+  // i.e. the adversary can still push the theta-quantile beyond bin L.
+  // rem_min_kl is non-decreasing in the CDF value, and the CDF is
+  // non-decreasing in L, so feasibility is monotone: true on a prefix of L.
+  const auto feasible = [&](std::ptrdiff_t bin) {
+    return rem_min_kl(prefix[static_cast<std::size_t>(bin)], theta) <= delta;
+  };
+
+  // Largest feasible L in [-1, last]; L = -1 (empty prefix, CDF 0) is always
+  // feasible so the bisection invariant holds from the start.
+  std::ptrdiff_t lo = -1;
+  std::ptrdiff_t hi = last;
+  if (feasible(hi)) {
+    lo = hi;
+  } else {
+    while (hi - lo > 1) {
+      const std::ptrdiff_t mid = lo + (hi - lo) / 2;
+      (feasible(mid) ? lo : hi) = mid;
+    }
+  }
+
+  WcdeResult result;
+  // The final bin always has CDF 1 >= theta, so lo can reach at most
+  // last - 1; hitting it means the adversary pushed the quantile into the
+  // very last bin and the support is too narrow for this (delta, theta).
+  result.truncated = (lo >= last - 1);
+  // The adversary can hold the quantile beyond bin lo but not beyond lo+1:
+  // every ball member has CDF(lo+1) >= theta, so eta is the upper edge of
+  // bin lo+1 (clamped into range when truncated).
+  const auto eta_bin = static_cast<std::size_t>(std::min(lo + 1, last));
+  result.eta_bin = eta_bin + 1;  // number of guaranteed bins
+  result.eta = reference.upper_edge(eta_bin);
+  result.reference_eta = reference.quantile_value(theta);
+  return result;
+}
+
+}  // namespace rush

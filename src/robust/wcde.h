@@ -1,0 +1,39 @@
+// Worst-Case Distribution Estimation — Algorithm 2 of the paper.
+//
+// Given the reference demand distribution phi_i reported by a job's
+// distribution estimator, the entropy threshold delta_i and the percentile
+// theta, compute eta_i: the smallest demand such that EVERY distribution
+// within KL distance delta_i of phi_i places at least theta mass on
+// [0, eta_i].  Allocating eta_i container-seconds to the job then satisfies
+// robust constraint (3) of the RS problem.
+
+#pragma once
+
+#include "src/stats/pmf.h"
+
+namespace rush {
+
+struct WcdeResult {
+  /// Robust demand eta_i in container-seconds.
+  double eta = 0.0;
+  /// eta expressed as a number of bins (bins [0, eta_bin) are guaranteed).
+  std::size_t eta_bin = 0;
+  /// The plain theta-quantile of phi itself (the delta = 0 answer); the gap
+  /// eta - reference_eta is the price of robustness.
+  double reference_eta = 0.0;
+  /// True when the adversary can push the quantile past tau_max, i.e. the
+  /// demand PMF support was too small for this (delta, theta); eta is then
+  /// clamped to tau_max and the caller should widen the binning.
+  bool truncated = false;
+};
+
+/// Solves WCDE by bisection over the candidate objective value L
+/// (monotone feasibility, O(bins) prefix pass + O(log bins) probes).
+///
+/// @param phi    reference demand PMF (will be normalised internally)
+/// @param theta  completion probability requirement, in (0,1)
+/// @param delta  KL ball radius (entropy threshold), >= 0; delta = 0
+///               degenerates to the plain theta-quantile of phi
+WcdeResult solve_wcde(const QuantizedPmf& phi, double theta, double delta);
+
+}  // namespace rush

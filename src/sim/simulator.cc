@@ -1,0 +1,32 @@
+#include "src/sim/simulator.h"
+
+#include "src/common/error.h"
+
+namespace rush {
+
+void Simulator::schedule_at(Seconds at, Callback callback) {
+  require(at >= now_, "Simulator::schedule_at: event in the past");
+  queue_.push(Event{at, next_sequence_++, std::move(callback)});
+}
+
+void Simulator::schedule_after(Seconds delay, Callback callback) {
+  require(delay >= 0.0, "Simulator::schedule_after: negative delay");
+  schedule_at(now_ + delay, std::move(callback));
+}
+
+std::size_t Simulator::run(Seconds max_time) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    // priority_queue::top is const; copy the small header, move the callback
+    // out via const_cast-free re-push-free pattern: take a copy of top.
+    Event event = queue_.top();
+    if (event.at > max_time) break;
+    queue_.pop();
+    now_ = event.at;
+    event.callback();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace rush

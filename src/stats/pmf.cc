@@ -1,0 +1,145 @@
+#include "src/stats/pmf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/error.h"
+
+namespace rush {
+
+QuantizedPmf::QuantizedPmf(std::size_t bins, double bin_width)
+    : mass_(bins, 0.0), bin_width_(bin_width) {
+  require(bins > 0, "QuantizedPmf: need at least one bin");
+  require(bin_width > 0.0, "QuantizedPmf: bin width must be positive");
+}
+
+QuantizedPmf QuantizedPmf::from_weights(std::vector<double> weights, double bin_width) {
+  QuantizedPmf pmf(weights.size(), bin_width);
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    require(weights[l] >= 0.0, "QuantizedPmf: negative weight");
+    pmf.mass_[l] = weights[l];
+  }
+  pmf.normalize();
+  return pmf;
+}
+
+QuantizedPmf QuantizedPmf::impulse(double value, std::size_t bins, double bin_width) {
+  QuantizedPmf pmf(bins, bin_width);
+  pmf.mass_[pmf.bin_of(value)] = 1.0;
+  return pmf;
+}
+
+QuantizedPmf QuantizedPmf::gaussian(double mean, double stddev, std::size_t bins,
+                                    double bin_width) {
+  require(stddev >= 0.0, "QuantizedPmf::gaussian: negative stddev");
+  if (stddev == 0.0) return impulse(mean, bins, bin_width);
+  QuantizedPmf pmf(bins, bin_width);
+  const double inv = 1.0 / (stddev * std::sqrt(2.0));
+  auto normal_cdf = [&](double x) { return 0.5 * (1.0 + std::erf((x - mean) * inv)); };
+  // Demand is non-negative: prev_cdf starts at 0, so bin 0 also absorbs the
+  // Gaussian's negative tail; the last bin absorbs everything above tau_max.
+  double prev_cdf = 0.0;
+  for (std::size_t l = 0; l < bins; ++l) {
+    const double upper = bin_width * static_cast<double>(l + 1);
+    const double cdf_upper = (l + 1 == bins) ? 1.0 : normal_cdf(upper);
+    pmf.mass_[l] = std::max(cdf_upper - prev_cdf, 0.0);
+    prev_cdf = cdf_upper;
+  }
+  pmf.normalize();
+  return pmf;
+}
+
+std::size_t QuantizedPmf::bin_of(double value) const {
+  if (value <= 0.0) return 0;
+  const auto bin = static_cast<std::size_t>(value / bin_width_);
+  return std::min(bin, bins() - 1);
+}
+
+void QuantizedPmf::set_mass(std::size_t bin, double value) {
+  require(bin < bins(), "QuantizedPmf::set_mass: bin out of range");
+  require(value >= 0.0, "QuantizedPmf::set_mass: negative mass");
+  mass_[bin] = value;
+}
+
+void QuantizedPmf::add_mass_at(double value, double weight) {
+  require(weight >= 0.0, "QuantizedPmf::add_mass_at: negative weight");
+  mass_[bin_of(value)] += weight;
+}
+
+double QuantizedPmf::total_mass() const {
+  return std::accumulate(mass_.begin(), mass_.end(), 0.0);
+}
+
+void QuantizedPmf::normalize() {
+  const double total = total_mass();
+  require(total > 0.0, "QuantizedPmf::normalize: zero total mass");
+  for (double& m : mass_) m /= total;
+}
+
+bool QuantizedPmf::is_normalized(double tol) const {
+  return std::abs(total_mass() - 1.0) <= tol;
+}
+
+double QuantizedPmf::cdf(std::size_t bin) const {
+  double sum = 0.0;
+  const std::size_t stop = std::min(bin, bins() - 1);
+  for (std::size_t l = 0; l <= stop; ++l) sum += mass_[l];
+  return sum;
+}
+
+std::size_t QuantizedPmf::quantile_bin(double theta) const {
+  require(theta >= 0.0 && theta <= 1.0, "quantile_bin: theta outside [0,1]");
+  double sum = 0.0;
+  for (std::size_t l = 0; l < bins(); ++l) {
+    sum += mass_[l];
+    if (sum >= theta) return l;
+  }
+  return bins() - 1;
+}
+
+double QuantizedPmf::quantile_value(double theta) const {
+  return upper_edge(quantile_bin(theta));
+}
+
+double QuantizedPmf::mean() const {
+  double sum = 0.0;
+  for (std::size_t l = 0; l < bins(); ++l) sum += mass_[l] * upper_edge(l);
+  return sum;
+}
+
+double QuantizedPmf::variance() const {
+  const double m = mean();
+  double sum = 0.0;
+  for (std::size_t l = 0; l < bins(); ++l) {
+    const double d = upper_edge(l) - m;
+    sum += mass_[l] * d * d;
+  }
+  return sum;
+}
+
+double QuantizedPmf::kl_divergence(const QuantizedPmf& reference) const {
+  require(bins() == reference.bins(), "kl_divergence: bin count mismatch");
+  double kl = 0.0;
+  for (std::size_t l = 0; l < bins(); ++l) {
+    const double p = mass_[l];
+    const double q = reference.mass_[l];
+    if (p <= 0.0) continue;
+    if (q <= 0.0) return std::numeric_limits<double>::infinity();
+    kl += p * std::log(p / q);
+  }
+  return std::max(kl, 0.0);  // guard tiny negative rounding
+}
+
+std::vector<double> QuantizedPmf::prefix_cdf() const {
+  std::vector<double> prefix(bins());
+  double sum = 0.0;
+  for (std::size_t l = 0; l < bins(); ++l) {
+    sum += mass_[l];
+    prefix[l] = sum;
+  }
+  return prefix;
+}
+
+}  // namespace rush

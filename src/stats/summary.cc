@@ -1,0 +1,116 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+
+namespace rush {
+
+void OnlineStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+
+// Linear-interpolated quantile of a sorted sample, q in [0,1].
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+BoxplotStats boxplot_stats(std::vector<double> samples) {
+  require(!samples.empty(), "boxplot_stats: empty sample");
+  std::sort(samples.begin(), samples.end());
+  BoxplotStats s;
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.q1 = sorted_quantile(samples, 0.25);
+  s.median = sorted_quantile(samples, 0.5);
+  s.q3 = sorted_quantile(samples, 0.75);
+  const double iqr = s.q3 - s.q1;
+  const double fence_low = s.q1 - 1.5 * iqr;
+  const double fence_high = s.q3 + 1.5 * iqr;
+  s.whisker_low = s.max;
+  s.whisker_high = s.min;
+  for (double x : samples) {
+    if (x < fence_low || x > fence_high) {
+      s.outliers.push_back(x);
+    } else {
+      s.whisker_low = std::min(s.whisker_low, x);
+      s.whisker_high = std::max(s.whisker_high, x);
+    }
+  }
+  if (s.whisker_low > s.whisker_high) {  // every point is an outlier
+    s.whisker_low = s.median;
+    s.whisker_high = s.median;
+  }
+  return s;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  require(!samples.empty(), "percentile: empty sample");
+  require(p >= 0.0 && p <= 100.0, "percentile: p outside [0,100]");
+  std::sort(samples.begin(), samples.end());
+  return sorted_quantile(samples, p / 100.0);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  require(!sorted_.empty(), "EmpiricalCdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  require(q > 0.0 && q <= 1.0, "EmpiricalCdf::quantile: q outside (0,1]");
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  require(hi > lo, "Histogram: hi must exceed lo");
+  require(buckets > 0, "Histogram: need at least one bucket");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bucket = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  bucket = std::clamp<std::ptrdiff_t>(bucket, 0,
+                                      static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bucket)];
+  ++total_;
+}
+
+double Histogram::bucket_low(std::size_t bucket) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_high(std::size_t bucket) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bucket + 1);
+}
+
+}  // namespace rush

@@ -1,0 +1,85 @@
+// Summary statistics used by estimators, benchmarks and tests:
+// online moments (Welford), boxplot five-number summaries (Fig 4),
+// empirical CDFs (Fig 6) and simple histograms.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rush {
+
+/// Numerically stable online mean/variance (Welford's algorithm).
+/// This is what the Gaussian distribution estimator feeds with task runtime
+/// samples as YARN reports task completions.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 until two samples are present.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Five-number summary plus outliers, matching the boxplots in Fig 4:
+/// whiskers at the most extreme data points within 1.5*IQR of the quartiles.
+struct BoxplotStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double whisker_low = 0.0;
+  double whisker_high = 0.0;
+  std::vector<double> outliers;
+  std::size_t count = 0;
+};
+
+/// Computes boxplot statistics; throws InvalidInput on an empty sample.
+BoxplotStats boxplot_stats(std::vector<double> samples);
+
+/// Linear-interpolated percentile of a sample (p in [0,100]).
+double percentile(std::vector<double> samples, double p);
+
+/// Empirical CDF over a fixed sample, evaluable at arbitrary points and
+/// invertible; used to render the Fig 6 utility CDFs.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  std::size_t count() const { return sorted_.size(); }
+  /// Fraction of samples <= x.
+  double at(double x) const;
+  /// Smallest sample value v with at(v) >= q, q in (0, 1].
+  double quantile(double q) const;
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_[bucket]; }
+  std::size_t total() const { return total_; }
+  double bucket_low(std::size_t bucket) const;
+  double bucket_high(std::size_t bucket) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rush

@@ -1,0 +1,232 @@
+#include "src/tas/onion_peeling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+constexpr Seconds kUnreachable = -std::numeric_limits<Seconds>::infinity();
+
+struct ActiveJob {
+  const TasJob* job;
+  Seconds deadline = 0.0;  // scratch, recomputed per feasibility probe
+};
+
+/// A job already fixed in an earlier layer: its demand is reserved up to its
+/// mapping deadline (the paper's G_t step function).
+struct PeeledDemand {
+  Seconds deadline;
+  ContainerSeconds eta;
+};
+
+/// Deadline of job `j` for utility level L, compensated by R_i when asked.
+/// Returns kUnreachable when L cannot be achieved at any time >= now.
+Seconds deadline_for_level(const TasJob& j, Utility level, Seconds now, Seconds horizon,
+                           bool compensate) {
+  Seconds d = j.utility->inverse(level, horizon);
+  if (d == kUnreachable) return kUnreachable;
+  if (compensate) d -= j.avg_task_runtime;
+  if (d < now) return kUnreachable;  // cannot finish in the past
+  return d;
+}
+
+/// Preemptive-EDF feasibility (Theorem 2 generalised to include peeled
+/// jobs): for every distinct deadline d in the union, the total demand of
+/// jobs with deadline <= d must fit in capacity * (d - now).
+bool edf_feasible(std::vector<std::pair<Seconds, ContainerSeconds>>& work,
+                  ContainerCount capacity, Seconds now) {
+  std::sort(work.begin(), work.end());
+  double load = 0.0;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    load += work[i].second;
+    const bool last_at_deadline = (i + 1 == work.size()) || work[i + 1].first > work[i].first;
+    if (last_at_deadline &&
+        load > static_cast<double>(capacity) * (work[i].first - now) + 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TasResult onion_peel(const std::vector<TasJob>& jobs, ContainerCount capacity,
+                     Seconds now, const OnionPeelingConfig& config) {
+  require(capacity > 0, "onion_peel: capacity must be positive");
+  require(config.tolerance > 0.0, "onion_peel: tolerance must be positive");
+
+  TasResult result;
+  std::vector<ActiveJob> active;
+  double total_eta = 0.0;
+  Seconds max_runtime = 0.0;
+  int layer = 0;
+
+  for (const TasJob& j : jobs) {
+    require(j.utility != nullptr, "onion_peel: job without utility function");
+    require(j.avg_task_runtime > 0.0, "onion_peel: non-positive avg task runtime");
+    if (j.eta <= 0.0) {
+      // Nothing left to schedule: the job completes "now" at its maximal
+      // utility and occupies no capacity.
+      TasTarget t;
+      t.id = j.id;
+      t.mapping_deadline = now;
+      t.target_completion = now;
+      t.utility_level = j.utility->value(now);
+      t.layer = layer;
+      result.targets.push_back(t);
+      continue;
+    }
+    active.push_back({&j, 0.0});
+    total_eta += j.eta;
+    max_runtime = std::max(max_runtime, j.avg_task_runtime);
+  }
+
+  Seconds horizon = config.horizon;
+  if (horizon <= now) {
+    horizon = now + 2.0 * (total_eta / static_cast<double>(capacity) + max_runtime) + 1.0;
+  }
+  result.horizon = horizon;
+
+  std::vector<PeeledDemand> peeled;
+  std::vector<std::pair<Seconds, ContainerSeconds>> work;  // probe scratch
+
+  // feasibility(L): every active job gets deadline U^{-1}(L) (compensated);
+  // check the EDF condition over active + peeled demand.
+  const auto feasible = [&](Utility level) {
+    ++result.probes;
+    work.clear();
+    for (ActiveJob& a : active) {
+      const Seconds d =
+          deadline_for_level(*a.job, level, now, horizon, config.compensate_runtime);
+      if (d == kUnreachable) return false;
+      a.deadline = d;
+      work.emplace_back(d, a.job->eta);
+    }
+    for (const PeeledDemand& p : peeled) work.emplace_back(p.deadline, p.eta);
+    return edf_feasible(work, capacity, now);
+  };
+
+  // Level 0 is always feasible with the automatic horizon: every inverse
+  // returns `horizon` (utilities are non-negative) and total demand fits.
+  Utility level_feasible = 0.0;
+  ensure(feasible(level_feasible), "onion_peel: zero utility level infeasible; horizon too small");
+
+  const auto peel_job = [&](std::size_t index, Utility level) {
+    ActiveJob& a = active[index];
+    const Seconds d =
+        deadline_for_level(*a.job, level, now, horizon, config.compensate_runtime);
+    ensure(d != kUnreachable, "onion_peel: peeling at unreachable level");
+    TasTarget t;
+    t.id = a.job->id;
+    t.mapping_deadline = d;
+    t.target_completion =
+        config.compensate_runtime ? std::min(d + a.job->avg_task_runtime, horizon) : d;
+    t.utility_level = level;
+    t.layer = layer;
+    t.impossible = a.job->utility->value(t.target_completion) <= 0.0;
+    result.targets.push_back(t);
+    peeled.push_back({d, a.job->eta});
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(index));
+  };
+
+  while (!active.empty()) {
+    // Upper bound for this layer: no job can exceed the utility of
+    // completing immediately, and the layer max-min cannot exceed the
+    // smallest such maximum among remaining jobs.
+    Utility level_cap = std::numeric_limits<Utility>::infinity();
+    std::size_t cap_index = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const Utility u_max = active[i].job->utility->value(now);
+      if (u_max < level_cap) {
+        level_cap = u_max;
+        cap_index = i;
+      }
+    }
+
+    const bool cap_feasible = feasible(level_cap);
+    if (cap_feasible ||
+        level_cap <= level_feasible + config.tolerance * std::max(level_cap, 1e-3)) {
+      // The capped job already sits at its achievable maximum: peel it at
+      // the best feasible level and continue the lexicographic climb with
+      // the rest.
+      const Utility level = cap_feasible ? level_cap : level_feasible;
+      level_feasible = level;
+      peel_job(cap_index, level);
+      ++layer;
+      continue;
+    }
+
+    // Bisection on [level_feasible, level_cap] (Algorithm 3 inner loop).
+    // The tolerance is relative to the shrinking bracket: with an absolute
+    // Delta, a feasible region near zero utility (steep sigmoids long past
+    // their budget) would be skipped entirely and the job dumped at the
+    // horizon; the geometric descent keeps resolving until the bracket is
+    // tight in *ratio* (or collapses below any meaningful utility).
+    Utility lo = level_feasible;
+    Utility hi = level_cap;
+    while (hi - lo > config.tolerance * std::max(hi, 1e-3) && hi > 1e-12) {
+      const Utility mid = 0.5 * (lo + hi);
+      (feasible(mid) ? lo : hi) = mid;
+    }
+    level_feasible = lo;
+
+    // Bottleneck detection: probe just above the feasible level and find the
+    // first violated EDF constraint; the active job with the latest deadline
+    // inside that violating prefix is the one that cannot improve further.
+    std::size_t bottleneck = 0;
+    {
+      const Utility probe = hi;  // last infeasible level
+      bool found = false;
+      Seconds violated_at = horizon;
+      work.clear();
+      bool unreachable = false;
+      std::vector<Seconds> deadlines(active.size());
+      for (std::size_t i = 0; i < active.size() && !unreachable; ++i) {
+        deadlines[i] = deadline_for_level(*active[i].job, probe, now, horizon,
+                                          config.compensate_runtime);
+        if (deadlines[i] == kUnreachable) {
+          unreachable = true;
+          bottleneck = i;
+          found = true;
+        } else {
+          work.emplace_back(deadlines[i], active[i].job->eta);
+        }
+      }
+      if (!unreachable) {
+        for (const PeeledDemand& p : peeled) work.emplace_back(p.deadline, p.eta);
+        std::sort(work.begin(), work.end());
+        double load = 0.0;
+        for (std::size_t i = 0; i < work.size(); ++i) {
+          load += work[i].second;
+          const bool last_at_deadline =
+              (i + 1 == work.size()) || work[i + 1].first > work[i].first;
+          if (last_at_deadline &&
+              load > static_cast<double>(capacity) * (work[i].first - now) + 1e-9) {
+            violated_at = work[i].first;
+            break;
+          }
+        }
+        Seconds best = -1.0;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          if (deadlines[i] <= violated_at + 1e-12 && deadlines[i] > best) {
+            best = deadlines[i];
+            bottleneck = i;
+            found = true;
+          }
+        }
+      }
+      if (!found) bottleneck = cap_index;  // numerical fallback
+    }
+
+    peel_job(bottleneck, level_feasible);
+    ++layer;
+  }
+
+  return result;
+}
+
+}  // namespace rush

@@ -1,0 +1,89 @@
+// Onion peeling — Algorithm 3 of the paper.
+//
+// Solves the Time-Aware Scheduling (TAS) problem: given each job's robust
+// demand eta_i (from WCDE) and utility function, find target completion
+// times that lexicographically maximise the sorted utility vector.  Each
+// "layer" runs a bisection over the utility level L; feasibility of a level
+// is the preemptive-EDF capacity condition of Theorem 2.  The job that
+// blocks further improvement (the bottleneck) is fixed at the layer's
+// utility and removed, and the search continues with the rest.
+//
+// Deviation from the printed pseudocode (documented in DESIGN.md §5): the
+// paper's check only walks constraints at *remaining* jobs' deadlines with
+// the reservation function G_t.  That misses violations at already-peeled
+// jobs' deadlines when a later layer pulls an active job's deadline across a
+// peeled one.  We evaluate the full EDF condition over the union of active
+// and peeled jobs, which is both necessary and sufficient for the
+// container-seconds model.
+
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/utility/utility_function.h"
+
+namespace rush {
+
+/// One job as seen by the TAS solver.
+struct TasJob {
+  JobId id = kInvalidJob;
+  /// Robust remaining demand eta_i in container-seconds (WCDE output).
+  ContainerSeconds eta = 0.0;
+  /// Average container holding time of one task, R_i (seconds).
+  Seconds avg_task_runtime = 1.0;
+  /// Utility of the job's absolute completion time.  Not owned; must
+  /// outlive the call.
+  const UtilityFunction* utility = nullptr;
+};
+
+/// Per-job outcome of the peeling.
+struct TasTarget {
+  JobId id = kInvalidJob;
+  /// Deadline handed to the slot mapper (already compensated by R_i when
+  /// OnionPeelingConfig::compensate_runtime is set — Theorem 3).
+  Seconds mapping_deadline = 0.0;
+  /// Projected completion time shown to users (mapping_deadline + R_i under
+  /// compensation; the Theorem 3 bound makes this achievable).
+  Seconds target_completion = 0.0;
+  /// The utility level L_f of the layer in which the job was peeled.
+  Utility utility_level = 0.0;
+  /// Layer number (0 = worst-off layer), i.e. peel order.
+  int layer = 0;
+  /// True when even the target completion yields zero utility — the "red
+  /// row" in the RUSH web UI (Fig 2): the job cannot meet any useful
+  /// deadline and the user should resubmit its requirements.
+  bool impossible = false;
+};
+
+struct OnionPeelingConfig {
+  /// Bisection tolerance Delta on the utility level.
+  double tolerance = 1e-3;
+  /// Scheduling horizon (absolute seconds).  <= 0 means "choose
+  /// automatically": now + 2*(total demand / capacity + max R_i) + 1, which
+  /// always makes the zero-utility level feasible.
+  Seconds horizon = 0.0;
+  /// Shrink each deadline by R_i so the slot mapper's T_i + R_i stretch
+  /// (Theorem 3) still lands inside the intended completion time.
+  bool compensate_runtime = true;
+};
+
+struct TasResult {
+  /// Targets in peel order (layer 0 first).
+  std::vector<TasTarget> targets;
+  /// The horizon actually used.
+  Seconds horizon = 0.0;
+  /// Number of bisection feasibility probes performed (benchmark aid).
+  long probes = 0;
+};
+
+/// Runs the onion peeling algorithm.
+///
+/// @param jobs      active jobs with positive remaining demand (eta <= 0
+///                  jobs are peeled immediately at `now`)
+/// @param capacity  cluster capacity C in containers
+/// @param now       current absolute time; all demand must be served after it
+TasResult onion_peel(const std::vector<TasJob>& jobs, ContainerCount capacity,
+                     Seconds now, const OnionPeelingConfig& config = {});
+
+}  // namespace rush

@@ -1,0 +1,60 @@
+// Continuous time slot mapping — Algorithm 4 of the paper.
+//
+// Tasks hold a container continuously from start to finish, so the abstract
+// container-seconds schedule from onion peeling must be turned into gap-free
+// per-container assignments.  The mapper keeps one queue per container
+// (occupation O_k), walks jobs in deadline order and packs whole tasks of
+// length R_i into queues, moving to the next queue once the current one is
+// occupied past the job's deadline.  Theorem 3: every job then completes no
+// later than T_i + R_i.
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace rush {
+
+/// One job to map: target deadline, remaining demand and task granule.
+struct MappingJob {
+  JobId id = kInvalidJob;
+  /// Target completion time T_i from the onion peeling step.
+  Seconds deadline = 0.0;
+  /// Remaining demand eta_i in container-seconds.
+  ContainerSeconds eta = 0.0;
+  /// Average container holding time of one task, R_i (> 0).
+  Seconds task_runtime = 1.0;
+};
+
+/// A contiguous run of one job's tasks on one container queue.
+struct MappedSegment {
+  JobId job = kInvalidJob;
+  int queue = 0;
+  Seconds start = 0.0;
+  Seconds duration = 0.0;
+  /// Number of whole tasks packed back-to-back in this segment.
+  int tasks = 0;
+
+  Seconds end() const { return start + duration; }
+};
+
+struct MappingResult {
+  std::vector<MappedSegment> segments;
+  /// Final occupation O_k of each queue (absolute time).
+  std::vector<Seconds> queue_occupation;
+  /// Completion time of each job (max end over its segments; `now` for jobs
+  /// with no demand).
+  std::unordered_map<JobId, Seconds> completion;
+  /// True when every job finished by deadline + task_runtime (the Theorem 3
+  /// bound).  False indicates the input deadlines were not EDF-feasible and
+  /// a best-effort packing was produced instead.
+  bool within_bound = true;
+};
+
+/// Runs Algorithm 4 starting at absolute time `now` on `capacity` queues.
+MappingResult map_time_slots(std::vector<MappingJob> jobs, ContainerCount capacity,
+                             Seconds now);
+
+}  // namespace rush

@@ -1,0 +1,88 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+#include "src/workload/job_template.h"
+
+namespace rush {
+
+void WorkloadConfig::validate() const {
+  require(num_jobs > 0, "WorkloadConfig: num_jobs must be positive");
+  require(mean_interarrival > 0.0, "WorkloadConfig: mean_interarrival must be positive");
+  require(min_gigabytes > 0.0 && max_gigabytes >= min_gigabytes,
+          "WorkloadConfig: bad data size range");
+  require(budget_ratio > 0.0, "WorkloadConfig: budget_ratio must be positive");
+  require(critical_fraction >= 0.0 && sensitive_fraction >= 0.0 &&
+              critical_fraction + sensitive_fraction <= 1.0,
+          "WorkloadConfig: bad sensitivity mix");
+  require(min_priority >= 0 && max_priority >= min_priority,
+          "WorkloadConfig: bad priority range");
+  require(benchmark_capacity > 0, "WorkloadConfig: benchmark capacity must be positive");
+  require(benchmark_speed > 0.0, "WorkloadConfig: benchmark speed must be positive");
+}
+
+void apply_sensitivity(JobSpec& spec, Sensitivity sensitivity, Seconds budget,
+                       Priority priority) {
+  spec.sensitivity = sensitivity;
+  spec.budget = budget;
+  spec.priority = priority;
+  switch (sensitivity) {
+    case Sensitivity::kTimeCritical:
+      // Utility collapses within ~5% of the budget past the deadline.
+      spec.utility_kind = "sigmoid";
+      spec.beta = 8.8 / std::max(0.05 * budget, 1.0);
+      break;
+    case Sensitivity::kTimeSensitive:
+      // Gradual decay over ~half the budget.
+      spec.utility_kind = "sigmoid";
+      spec.beta = 8.8 / std::max(0.5 * budget, 1.0);
+      break;
+    case Sensitivity::kTimeInsensitive:
+      spec.utility_kind = "constant";
+      spec.beta = 1.0;
+      break;
+  }
+}
+
+std::vector<JobSpec> generate_workload(const WorkloadConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+  const std::vector<JobTemplate>& templates = puma_templates();
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(config.num_jobs));
+  Seconds arrival = 0.0;
+  for (int i = 0; i < config.num_jobs; ++i) {
+    // Equal mix of the eight templates (paper: "an equal mix of eight
+    // heterogeneous Hadoop job templates"): round-robin base with random
+    // data size.
+    const JobTemplate& tmpl =
+        templates[static_cast<std::size_t>(i) % templates.size()];
+    const double gb = rng.uniform(config.min_gigabytes, config.max_gigabytes);
+    JobSpec spec = instantiate(tmpl, gb, rng);
+
+    arrival += rng.exponential(config.mean_interarrival);
+    spec.arrival = arrival;
+
+    const Seconds bench = benchmarked_runtime(spec, config.benchmark_capacity,
+                                              config.benchmark_speed);
+    const Seconds budget = config.budget_ratio * bench;
+    const auto priority = static_cast<Priority>(
+        rng.uniform_int(config.min_priority, config.max_priority));
+
+    const double mix = rng.uniform();
+    Sensitivity sensitivity = Sensitivity::kTimeInsensitive;
+    if (mix < config.critical_fraction) {
+      sensitivity = Sensitivity::kTimeCritical;
+    } else if (mix < config.critical_fraction + config.sensitive_fraction) {
+      sensitivity = Sensitivity::kTimeSensitive;
+    }
+    apply_sensitivity(spec, sensitivity, budget, priority);
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+}  // namespace rush

@@ -1,0 +1,50 @@
+// Workload generator for the paper's evaluation scenario (§V-B):
+// 100 jobs drawn uniformly from the eight PUMA templates, data-set sizes
+// uniform in [1, 10] GB, Poisson arrivals with mean inter-arrival 130 s,
+// priority W uniform in {1..5}, and a 20/60/20 mix of time-critical /
+// time-sensitive / time-insensitive jobs.  Each job's time budget is
+// budget_ratio times its contention-free benchmarked runtime; the
+// experiments sweep budget_ratio over {2.0, 1.5, 1.0}.
+
+#pragma once
+
+#include <vector>
+
+#include "src/cluster/job.h"
+#include "src/common/rng.h"
+
+namespace rush {
+
+struct WorkloadConfig {
+  int num_jobs = 100;
+  Seconds mean_interarrival = 130.0;
+  double min_gigabytes = 1.0;
+  double max_gigabytes = 10.0;
+  /// Budget = ratio * benchmarked runtime (the experiment knob of
+  /// Figs 4 & 6).
+  double budget_ratio = 2.0;
+  double critical_fraction = 0.2;
+  double sensitive_fraction = 0.6;
+  int min_priority = 1;
+  int max_priority = 5;
+  /// Capacity and average node speed used to benchmark each job's
+  /// contention-free runtime for the budget computation.
+  ContainerCount benchmark_capacity = 48;
+  double benchmark_speed = 1.0;
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+/// Generates the job list; arrivals are sorted ascending.  Deterministic in
+/// the seed.
+std::vector<JobSpec> generate_workload(const WorkloadConfig& config);
+
+/// Utility shaping used by the generator (exposed for tests):
+/// - critical jobs: sigmoid with a cliff of ~5% of the budget,
+/// - sensitive jobs: sigmoid decaying over ~50% of the budget,
+/// - insensitive jobs: constant utility.
+void apply_sensitivity(JobSpec& spec, Sensitivity sensitivity, Seconds budget,
+                       Priority priority);
+
+}  // namespace rush

@@ -1,0 +1,53 @@
+// Synthetic PUMA-style job templates (paper §V-B).
+//
+// The paper mixes eight heterogeneous Hadoop job templates from the PUMA
+// benchmark suite with 1-10 GB data sets.  We only need the statistical
+// shape those jobs impose on the scheduler — task counts growing with data
+// size, per-template runtime scales and variability — so each template is
+// parameterised by maps-per-GB, reduce count, mean task seconds and a
+// within-job variability factor (DESIGN.md §2).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/job.h"
+#include "src/common/rng.h"
+
+namespace rush {
+
+struct JobTemplate {
+  std::string name;
+  /// Map tasks per GB of input (HDFS-block-ish granularity).
+  double maps_per_gb = 8.0;
+  /// Fixed number of reduce tasks.
+  int reduces = 1;
+  /// Mean nominal map/reduce task runtime on a reference-speed node.
+  Seconds map_task_seconds = 60.0;
+  Seconds reduce_task_seconds = 60.0;
+  /// Relative standard deviation of nominal task runtimes within one job
+  /// (IO-heavy templates vary more than CPU-bound ones).
+  double task_variability = 0.25;
+};
+
+/// The eight templates of the paper's evaluation mix.
+const std::vector<JobTemplate>& puma_templates();
+
+/// Looks a template up by name; throws InvalidInput when absent.
+const JobTemplate& puma_template(const std::string& name);
+
+/// Materialises a job of `gigabytes` input from the template: draws the
+/// per-task nominal runtimes (truncated normal around the template means).
+/// Utility/budget fields are left at defaults for the caller to fill.
+JobSpec instantiate(const JobTemplate& tmpl, double gigabytes, Rng& rng);
+
+/// Contention-free makespan of the job on `capacity` reference-speed
+/// containers scaled by `speed_factor` — the paper's "runtime of each job
+/// benchmarked with all the resources available in the cluster", used to
+/// set time budgets.  Wave model: max(total work / capacity, longest task)
+/// per phase, phases sequential because of the reduce barrier.
+Seconds benchmarked_runtime(const JobSpec& spec, ContainerCount capacity,
+                            double speed_factor = 1.0);
+
+}  // namespace rush

@@ -1,0 +1,116 @@
+#include "src/workload/workload_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+std::string escape_xml(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char ch : raw) {
+    switch (ch) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+Sensitivity sensitivity_from(const std::string& name) {
+  if (name == "critical") return Sensitivity::kTimeCritical;
+  if (name == "sensitive") return Sensitivity::kTimeSensitive;
+  if (name == "insensitive") return Sensitivity::kTimeInsensitive;
+  throw InvalidInput("workload: unknown sensitivity '" + name + "'");
+}
+
+double required_attr_double(const XmlNode& node, const char* name) {
+  const std::string raw = node.attribute(name);
+  require(!raw.empty(), std::string("workload: missing attribute '") + name + "'");
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(raw, &used);
+    require(used == raw.size(), "trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidInput(std::string("workload: attribute '") + name +
+                       "' is not a number: '" + raw + "'");
+  }
+}
+
+}  // namespace
+
+std::string workload_to_xml(const std::vector<JobSpec>& jobs) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "<?xml version=\"1.0\"?>\n<workload>\n";
+  for (const JobSpec& job : jobs) {
+    out << "  <job name=\"" << escape_xml(job.name) << "\" arrival=\"" << job.arrival
+        << "\" budget=\"" << job.budget << "\" priority=\"" << job.priority
+        << "\" beta=\"" << job.beta << "\" utility=\"" << escape_xml(job.utility_kind)
+        << "\" sensitivity=\"" << to_string(job.sensitivity) << "\">\n";
+    for (const TaskSpec& task : job.tasks) {
+      out << "    <task seconds=\"" << task.nominal_runtime << "\""
+          << (task.is_reduce ? " reduce=\"true\"" : "") << "/>\n";
+    }
+    out << "  </job>\n";
+  }
+  out << "</workload>\n";
+  return out.str();
+}
+
+std::vector<JobSpec> workload_from_xml(const XmlNode& root) {
+  require(root.tag == "workload", "workload: expected <workload> root");
+  std::vector<JobSpec> jobs;
+  for (const XmlNode& node : root.children) {
+    require(node.tag == "job", "workload: expected <job>, got <" + node.tag + ">");
+    JobSpec job;
+    job.name = node.attribute("name", "job");
+    job.arrival = required_attr_double(node, "arrival");
+    job.budget = required_attr_double(node, "budget");
+    job.priority = required_attr_double(node, "priority");
+    job.beta = required_attr_double(node, "beta");
+    job.utility_kind = node.attribute("utility", "sigmoid");
+    job.sensitivity = sensitivity_from(node.attribute("sensitivity", "sensitive"));
+    for (const XmlNode& task_node : node.children) {
+      require(task_node.tag == "task",
+              "workload: expected <task>, got <" + task_node.tag + ">");
+      TaskSpec task;
+      task.nominal_runtime = required_attr_double(task_node, "seconds");
+      task.is_reduce = task_node.attribute("reduce") == "true";
+      require(task.nominal_runtime > 0.0, "workload: non-positive task runtime");
+      job.tasks.push_back(task);
+    }
+    require(!job.tasks.empty(), "workload: job '" + job.name + "' has no tasks");
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void save_workload(const std::vector<JobSpec>& jobs, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "save_workload: cannot open '" + path + "'");
+  out << workload_to_xml(jobs);
+}
+
+std::vector<JobSpec> load_workload(const std::string& path) {
+  return workload_from_xml(parse_xml_file(path));
+}
+
+}  // namespace rush

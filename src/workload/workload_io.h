@@ -1,0 +1,29 @@
+// Workload (de)serialisation.
+//
+// A generated workload — including every task's drawn nominal runtime — can
+// be archived as XML and re-run bit-identically later or on another
+// machine, which is what makes the evaluation "trace-driven" rather than
+// tied to the generator's RNG.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/job.h"
+#include "src/config/xml.h"
+
+namespace rush {
+
+/// Serialises the full workload (jobs + task lists) to an XML document.
+std::string workload_to_xml(const std::vector<JobSpec>& jobs);
+
+/// Parses a workload written by workload_to_xml.  Throws InvalidInput on
+/// schema violations.
+std::vector<JobSpec> workload_from_xml(const XmlNode& root);
+
+/// File convenience wrappers.
+void save_workload(const std::vector<JobSpec>& jobs, const std::string& path);
+std::vector<JobSpec> load_workload(const std::string& path);
+
+}  // namespace rush

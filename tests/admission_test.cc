@@ -1,0 +1,122 @@
+#include "src/core/admission.h"
+
+#include <cmath>
+#include <memory>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+PlannerJob make_job(JobId id, double demand_mean, double demand_std,
+                    const UtilityFunction* utility, Seconds mean_runtime = 10.0) {
+  PlannerJob job;
+  job.id = id;
+  job.demand = QuantizedPmf::gaussian(demand_mean, demand_std, 256,
+                                      (demand_mean + 6 * demand_std) * 1.25 / 256.0);
+  job.mean_runtime = mean_runtime;
+  job.samples = 50;
+  job.utility = utility;
+  return job;
+}
+
+TEST(Admission, AdmitsIntoAnEmptyCluster) {
+  AdmissionController controller{RushConfig{}};
+  const SigmoidUtility utility(300.0, 3.0, 0.05);
+  const PlannerJob candidate = make_job(0, 400.0, 40.0, &utility);
+  const auto verdict = controller.evaluate({}, candidate, 8, 0.0);
+  EXPECT_TRUE(verdict.admit);
+  EXPECT_GT(verdict.candidate_utility, 0.0);
+  EXPECT_TRUE(verdict.degraded.empty());
+  EXPECT_LT(verdict.candidate_completion, 300.0);
+}
+
+TEST(Admission, RejectsHopelessCandidate) {
+  AdmissionController controller{RushConfig{}};
+  const StepUtility utility(10.0, 3.0);  // 10 s budget
+  const PlannerJob candidate = make_job(0, 5000.0, 100.0, &utility, 20.0);
+  const auto verdict = controller.evaluate({}, candidate, 2, 0.0);
+  EXPECT_FALSE(verdict.admit);
+  EXPECT_DOUBLE_EQ(verdict.candidate_utility, 0.0);
+}
+
+TEST(Admission, ReportsDegradedActiveJobs) {
+  AdmissionController controller{RushConfig{}};
+  // Active job sized to just fit its budget on the whole cluster.
+  const SigmoidUtility active_utility(110.0, 4.0, 0.2);
+  const PlannerJob active = make_job(1, 380.0, 20.0, &active_utility);
+  // A big, steep candidate competing for the same window.
+  const SigmoidUtility cand_utility(110.0, 4.0, 0.2);
+  const PlannerJob candidate = make_job(2, 380.0, 20.0, &cand_utility);
+
+  const auto verdict = controller.evaluate({active}, candidate, 4, 0.0);
+  // Both cannot finish 2x380cs by ~110s on 4 containers: someone degrades.
+  EXPECT_FALSE(verdict.degraded.empty() && verdict.admit &&
+               verdict.candidate_utility >= 3.9);
+}
+
+TEST(Admission, ToleranceSilencesSmallDegradations) {
+  AdmissionController controller{RushConfig{}};
+  const SigmoidUtility u1(500.0, 3.0, 0.02);
+  const SigmoidUtility u2(500.0, 3.0, 0.02);
+  const PlannerJob active = make_job(1, 300.0, 30.0, &u1);
+  const PlannerJob candidate = make_job(2, 300.0, 30.0, &u2);
+  AdmissionPolicy strict_policy;
+  strict_policy.tolerable_loss = 0.0;
+  AdmissionPolicy lax_policy;
+  lax_policy.tolerable_loss = 10.0;
+  const auto strict = controller.evaluate({active}, candidate, 4, 0.0, strict_policy);
+  const auto lax = controller.evaluate({active}, candidate, 4, 0.0, lax_policy);
+  EXPECT_TRUE(lax.degraded.empty());
+  EXPECT_GE(strict.degraded.size(), lax.degraded.size());
+}
+
+TEST(Admission, ValidatesInput) {
+  AdmissionController controller{RushConfig{}};
+  PlannerJob no_utility = make_job(0, 100.0, 10.0, nullptr);
+  EXPECT_THROW(controller.evaluate({}, no_utility, 4, 0.0), InvalidInput);
+  const ConstantUtility u(1.0);
+  const PlannerJob a = make_job(3, 100.0, 10.0, &u);
+  EXPECT_THROW(controller.evaluate({a}, a, 4, 0.0), InvalidInput);
+}
+
+TEST(Admission, EarliestFeasibleBudgetBracketsTheWork) {
+  AdmissionController controller{RushConfig{}};
+  // ~800 container-seconds on 4 containers needs >= ~200 s wall clock.
+  const PlannerJob shape = make_job(0, 800.0, 40.0, nullptr, 10.0);
+  const Seconds budget =
+      controller.earliest_feasible_budget({}, shape, 4, 0.0, 3.0, 0.1);
+  ASSERT_TRUE(std::isfinite(budget));
+  EXPECT_GT(budget, 150.0);
+  EXPECT_LT(budget, 500.0);
+
+  // A budget comfortably above must be admitted; comfortably below must not.
+  const SigmoidUtility fits(budget * 1.5, 3.0, 0.1);
+  PlannerJob candidate = shape;
+  candidate.utility = &fits;
+  EXPECT_TRUE(controller.evaluate({}, candidate, 4, 0.0).admit);
+  const SigmoidUtility tight(budget * 0.3, 3.0, 0.1);
+  candidate.utility = &tight;
+  EXPECT_FALSE(controller.evaluate({}, candidate, 4, 0.0).admit);
+}
+
+TEST(Admission, EarliestBudgetGrowsWithClusterLoad) {
+  AdmissionController controller{RushConfig{}};
+  const ConstantUtility flat(2.0);
+  std::vector<PlannerJob> busy;
+  for (JobId i = 10; i < 14; ++i) busy.push_back(make_job(i, 600.0, 30.0, &flat));
+  const PlannerJob shape = make_job(0, 400.0, 30.0, nullptr, 10.0);
+  const Seconds empty_budget =
+      controller.earliest_feasible_budget({}, shape, 4, 0.0, 3.0, 0.1);
+  const Seconds busy_budget =
+      controller.earliest_feasible_budget(busy, shape, 4, 0.0, 3.0, 0.1);
+  ASSERT_TRUE(std::isfinite(empty_budget));
+  ASSERT_TRUE(std::isfinite(busy_budget));
+  // Constant-utility active jobs yield, so the increase is modest, but the
+  // candidate can never be *faster* on a busy cluster.
+  EXPECT_GE(busy_budget, empty_budget - 2.0);
+}
+
+}  // namespace
+}  // namespace rush

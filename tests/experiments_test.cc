@@ -1,0 +1,95 @@
+#include "src/experiments/experiment.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/workload/job_template.h"
+
+namespace rush {
+namespace {
+
+TEST(Experiments, NamedSchedulersResolve) {
+  for (const char* name : {"RUSH", "EDF", "FIFO", "RRH", "Fair"}) {
+    EXPECT_EQ(make_named_scheduler(name)->name(), name);
+  }
+  EXPECT_THROW(make_named_scheduler("LIFO"), InvalidInput);
+}
+
+TEST(Experiments, BudgetCalibrationCombinesSpeedAndNoise) {
+  const auto nodes = homogeneous_nodes(2, 4);
+  EXPECT_NEAR(budget_calibration(nodes, 0.0), 1.0, 1e-12);
+  // exp(sigma^2/2) for sigma=0.25 is ~1.0317.
+  EXPECT_NEAR(budget_calibration(nodes, 0.25), std::exp(0.5 * 0.0625), 1e-9);
+  const std::vector<Node> hetero = {{4, 1.0}, {4, 2.0}};
+  EXPECT_NEAR(budget_calibration(hetero, 0.0), 1.5, 1e-12);
+}
+
+TEST(Experiments, AverageSpeedFactorIsCapacityWeighted) {
+  const std::vector<Node> nodes = {{6, 1.0}, {2, 3.0}};
+  EXPECT_NEAR(average_speed_factor(nodes), (6.0 * 1.0 + 2.0 * 3.0) / 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(average_speed_factor({}), 1.0);
+}
+
+TEST(Experiments, MeasuredBenchmarkIsDeterministicAndPositive) {
+  Rng rng(4);
+  const JobSpec spec = instantiate(puma_template("WordCount"), 3.0, rng);
+  const auto nodes = homogeneous_nodes(2, 8);
+  const Seconds a = measure_benchmark(spec, nodes, 0.2, 7);
+  const Seconds b = measure_benchmark(spec, nodes, 0.2, 7);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+  const Seconds other_seed = measure_benchmark(spec, nodes, 0.2, 8);
+  EXPECT_NE(a, other_seed);
+}
+
+TEST(Experiments, MeasuredBenchmarkIgnoresUtilityConfig) {
+  Rng rng(5);
+  JobSpec spec = instantiate(puma_template("SelfJoin"), 2.0, rng);
+  const auto nodes = homogeneous_nodes(1, 8);
+  spec.budget = 1.0;
+  spec.utility_kind = "step";
+  const Seconds a = measure_benchmark(spec, nodes, 0.1, 3);
+  spec.budget = 9999.0;
+  spec.utility_kind = "constant";
+  const Seconds b = measure_benchmark(spec, nodes, 0.1, 3);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Experiments, RunExperimentProducesBudgetsFromMeasurement) {
+  ExperimentConfig config;
+  config.num_jobs = 6;
+  config.budget_ratio = 2.0;
+  config.seed = 6;
+  config.nodes = homogeneous_nodes(2, 6);
+  config.min_gigabytes = 0.5;
+  config.max_gigabytes = 2.0;
+  const auto result = run_experiment("FIFO", config);
+  ASSERT_EQ(result.jobs.size(), 6u);
+  for (const JobRecord& job : result.jobs) {
+    if (job.sensitivity == Sensitivity::kTimeInsensitive) continue;
+    // budget = 2 x measured benchmark of a small job on 12 containers:
+    // sanity range, not exact values.
+    EXPECT_GT(job.budget, 20.0) << job.name;
+    EXPECT_LT(job.budget, 2000.0) << job.name;
+  }
+}
+
+TEST(Experiments, RatioScalesBudgetsProportionally) {
+  ExperimentConfig one;
+  one.num_jobs = 5;
+  one.seed = 9;
+  one.nodes = homogeneous_nodes(2, 6);
+  one.budget_ratio = 1.0;
+  ExperimentConfig two = one;
+  two.budget_ratio = 2.0;
+  const auto r1 = run_experiment("FIFO", one);
+  const auto r2 = run_experiment("FIFO", two);
+  for (std::size_t i = 0; i < r1.jobs.size(); ++i) {
+    EXPECT_NEAR(r2.jobs[i].budget, 2.0 * r1.jobs[i].budget, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace rush

@@ -1,0 +1,125 @@
+// End-to-end integration: the full pipeline (workload generation, measured
+// solo benchmarks, cluster simulation, scheduler, metrics) for RUSH and
+// every baseline, checking the paper's qualitative claims on a scaled-down
+// version of the §V-B scenario.
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/experiments/experiment.h"
+#include "src/metrics/report.h"
+#include "src/stats/summary.h"
+#include "src/workload/job_template.h"
+
+namespace rush {
+namespace {
+
+ExperimentConfig small_experiment(double ratio, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.num_jobs = 24;
+  config.mean_interarrival = 130.0;
+  // Scale data sizes with the scaled-down cluster so per-job parallel load
+  // relative to capacity matches the full experiment.
+  config.min_gigabytes = 0.5;
+  config.max_gigabytes = 4.0;
+  config.budget_ratio = ratio;
+  config.noise_sigma = 0.25;
+  config.seed = seed;
+  config.nodes = homogeneous_nodes(3, 8);  // 24 containers
+  return config;
+}
+
+double total_utility(const RunResult& result) {
+  double sum = 0.0;
+  for (double u : achieved_utilities(result.jobs)) sum += u;
+  return sum;
+}
+
+TEST(Integration, EverySchedulerDrainsTheWorkload) {
+  for (const std::string name : {"RUSH", "FIFO", "EDF", "RRH", "Fair"}) {
+    const auto result = run_experiment(name, small_experiment(2.0, 1));
+    EXPECT_TRUE(result.completed) << name;
+    EXPECT_EQ(result.jobs.size(), 24u) << name;
+    for (const auto& job : result.jobs) {
+      EXPECT_NE(job.completion, kNever) << name << " " << job.name;
+    }
+  }
+}
+
+TEST(Integration, RushKeepsMostDeadlineJobsWithinBudgetAtRatioTwo) {
+  // Fig 4's headline: with budget = 2x benchmark, RUSH's third quartile of
+  // latency stays below zero (>= 75% of deadline jobs meet their budget).
+  std::vector<double> lat;
+  for (std::uint64_t seed : {2, 3}) {
+    const auto result = run_experiment("RUSH", small_experiment(2.0, seed));
+    for (double l : deadline_job_latencies(result.jobs)) lat.push_back(l);
+  }
+  ASSERT_GE(lat.size(), 20u);
+  const auto box = boxplot_stats(lat);
+  EXPECT_LE(box.q3, 0.0) << "q3 latency " << box.q3;
+}
+
+TEST(Integration, RushBeatsSerialBaselinesOnUtility) {
+  double rush_total = 0.0, fifo_total = 0.0, edf_total = 0.0;
+  for (std::uint64_t seed : {4, 5}) {
+    rush_total += total_utility(run_experiment("RUSH", small_experiment(1.5, seed)));
+    fifo_total += total_utility(run_experiment("FIFO", small_experiment(1.5, seed)));
+    edf_total += total_utility(run_experiment("EDF", small_experiment(1.5, seed)));
+  }
+  EXPECT_GT(rush_total, fifo_total);
+  EXPECT_GT(rush_total, edf_total);
+}
+
+TEST(Integration, RushMinimizesZeroUtilityJobs) {
+  double z_rush = 0.0, z_fifo = 0.0, z_edf = 0.0;
+  for (std::uint64_t seed : {6, 7}) {
+    z_rush += zero_utility_fraction(run_experiment("RUSH", small_experiment(1.0, seed)).jobs);
+    z_fifo += zero_utility_fraction(run_experiment("FIFO", small_experiment(1.0, seed)).jobs);
+    z_edf += zero_utility_fraction(run_experiment("EDF", small_experiment(1.0, seed)).jobs);
+  }
+  EXPECT_LE(z_rush, z_fifo + 1e-9);
+  EXPECT_LE(z_rush, z_edf + 1e-9);
+}
+
+TEST(Integration, MeasuredBenchmarksAreReasonable) {
+  // The measured solo benchmark must sit within a factor of ~2 of the
+  // analytic wave bound (it absorbs heterogeneity and noise).
+  const auto config = small_experiment(2.0, 8);
+  std::uint64_t bench_seed = 99;
+  Rng rng(3);
+  for (const JobTemplate& tmpl : puma_templates()) {
+    const JobSpec spec = instantiate(tmpl, 4.0, rng);
+    const Seconds analytic = benchmarked_runtime(spec, 24, 1.0);
+    const Seconds measured =
+        measure_benchmark(spec, config.nodes, config.noise_sigma, bench_seed++);
+    EXPECT_GT(measured, analytic * 0.8) << tmpl.name;
+    EXPECT_LT(measured, analytic * 3.0) << tmpl.name;
+  }
+}
+
+TEST(Integration, TighterBudgetsDegradeTheHitRate) {
+  const double hit_loose =
+      budget_hit_fraction(run_experiment("RUSH", small_experiment(2.0, 10)).jobs);
+  const double hit_tight =
+      budget_hit_fraction(run_experiment("RUSH", small_experiment(1.0, 10)).jobs);
+  EXPECT_GE(hit_loose, hit_tight - 0.05);
+  EXPECT_GT(hit_loose, 0.5);  // loose budgets are mostly met
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  const auto r1 = run_experiment("RUSH", small_experiment(1.5, 11));
+  const auto r2 = run_experiment("RUSH", small_experiment(1.5, 11));
+  ASSERT_EQ(r1.jobs.size(), r2.jobs.size());
+  for (std::size_t i = 0; i < r1.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.jobs[i].completion, r2.jobs[i].completion);
+    EXPECT_DOUBLE_EQ(r1.jobs[i].utility, r2.jobs[i].utility);
+  }
+}
+
+TEST(Integration, UnknownSchedulerRejected) {
+  EXPECT_THROW(make_named_scheduler("SJF"), InvalidInput);
+}
+
+}  // namespace
+}  // namespace rush

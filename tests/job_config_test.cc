@@ -1,0 +1,84 @@
+#include "src/config/job_config.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+TEST(JobConfig, ParsesFullDocument) {
+  const auto root = parse_xml(R"(
+    <jobs>
+      <job>
+        <name>wordcount-17</name>
+        <budget>240</budget>
+        <priority>3</priority>
+        <beta>0.05</beta>
+        <utility>sigmoid</utility>
+        <maps>40</maps>
+        <reduces>1</reduces>
+        <task-seconds>55</task-seconds>
+        <arrival>12.5</arrival>
+      </job>
+      <job>
+        <name>background</name>
+        <utility>constant</utility>
+        <maps>8</maps>
+      </job>
+    </jobs>)");
+  const auto configs = parse_jobs_config(root);
+  ASSERT_EQ(configs.size(), 2u);
+  const JobConfig& a = configs[0];
+  EXPECT_EQ(a.name, "wordcount-17");
+  EXPECT_DOUBLE_EQ(a.budget, 240.0);
+  EXPECT_DOUBLE_EQ(a.priority, 3.0);
+  EXPECT_DOUBLE_EQ(a.beta, 0.05);
+  EXPECT_EQ(a.utility_kind, "sigmoid");
+  EXPECT_EQ(a.maps, 40);
+  EXPECT_EQ(a.reduces, 1);
+  EXPECT_DOUBLE_EQ(a.task_seconds, 55.0);
+  EXPECT_DOUBLE_EQ(a.arrival, 12.5);
+  EXPECT_EQ(configs[1].utility_kind, "constant");
+  EXPECT_EQ(configs[1].reduces, 0);  // default
+}
+
+TEST(JobConfig, SingleJobRootAccepted) {
+  const auto root = parse_xml("<job><name>solo</name><maps>2</maps></job>");
+  const auto configs = parse_jobs_config(root);
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].name, "solo");
+}
+
+TEST(JobConfig, DefaultsAreValid) {
+  const auto root = parse_xml("<job/>");
+  const auto config = parse_job_config(root);
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.utility_kind, "sigmoid");
+  EXPECT_EQ(config.maps, 1);
+}
+
+TEST(JobConfig, RejectsBadValues) {
+  EXPECT_THROW(parse_job_config(parse_xml("<job><budget>-5</budget></job>")),
+               InvalidInput);
+  EXPECT_THROW(parse_job_config(parse_xml("<job><maps>0</maps><reduces>0</reduces></job>")),
+               InvalidInput);
+  EXPECT_THROW(parse_job_config(parse_xml("<job><utility>cubic</utility></job>")),
+               InvalidInput);
+  EXPECT_THROW(parse_job_config(parse_xml("<job><task-seconds>0</task-seconds></job>")),
+               InvalidInput);
+  EXPECT_THROW(parse_job_config(parse_xml("<notjob/>")), InvalidInput);
+  EXPECT_THROW(parse_jobs_config(parse_xml("<config/>")), InvalidInput);
+}
+
+TEST(JobConfig, BetaOptionalForConstantAndStep) {
+  const auto constant =
+      parse_job_config(parse_xml("<job><utility>constant</utility><beta>0</beta></job>"));
+  EXPECT_EQ(constant.utility_kind, "constant");
+  EXPECT_THROW(
+      parse_job_config(parse_xml("<job><utility>linear</utility><beta>0</beta></job>")),
+      InvalidInput);
+}
+
+}  // namespace
+}  // namespace rush

@@ -1,0 +1,132 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/metrics/csv.h"
+#include "src/metrics/report.h"
+#include "src/metrics/text_table.h"
+
+namespace rush {
+namespace {
+
+JobRecord record(Sensitivity s, Seconds arrival, Seconds budget, Seconds completion,
+                 Utility utility, Utility best = 10.0) {
+  JobRecord r;
+  r.sensitivity = s;
+  r.arrival = arrival;
+  r.budget = budget;
+  r.completion = completion;
+  r.utility = utility;
+  r.best_possible_utility = best;
+  return r;
+}
+
+TEST(Report, LatencyFiltersAndComputes) {
+  std::vector<JobRecord> jobs = {
+      record(Sensitivity::kTimeCritical, 0.0, 100.0, 90.0, 5.0),    // -10
+      record(Sensitivity::kTimeSensitive, 50.0, 100.0, 200.0, 2.0), // +50
+      record(Sensitivity::kTimeInsensitive, 0.0, 0.0, 30.0, 3.0),
+      record(Sensitivity::kTimeCritical, 0.0, 10.0, kNever, 0.0),   // unfinished
+  };
+  const auto lat = deadline_job_latencies(jobs);
+  ASSERT_EQ(lat.size(), 2u);  // insensitive + unfinished excluded
+  EXPECT_DOUBLE_EQ(lat[0], -10.0);
+  EXPECT_DOUBLE_EQ(lat[1], 50.0);
+}
+
+TEST(Report, UtilitiesIncludeUnfinishedAsZero) {
+  std::vector<JobRecord> jobs = {
+      record(Sensitivity::kTimeSensitive, 0, 10, 5.0, 4.0),
+      record(Sensitivity::kTimeSensitive, 0, 10, kNever, 99.0),
+  };
+  const auto u = achieved_utilities(jobs);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_DOUBLE_EQ(u[0], 4.0);
+  EXPECT_DOUBLE_EQ(u[1], 0.0);
+}
+
+TEST(Report, NormalizedUtilities) {
+  std::vector<JobRecord> jobs = {
+      record(Sensitivity::kTimeSensitive, 0, 10, 5.0, 4.0, 8.0),
+      record(Sensitivity::kTimeSensitive, 0, 10, 5.0, 3.0, 0.0),  // degenerate best
+  };
+  const auto u = normalized_utilities(jobs);
+  EXPECT_DOUBLE_EQ(u[0], 0.5);
+  EXPECT_DOUBLE_EQ(u[1], 0.0);
+}
+
+TEST(Report, ZeroUtilityFraction) {
+  std::vector<JobRecord> jobs = {
+      record(Sensitivity::kTimeSensitive, 0, 10, 5.0, 0.0),
+      record(Sensitivity::kTimeSensitive, 0, 10, 5.0, 2.0),
+      record(Sensitivity::kTimeSensitive, 0, 10, kNever, 0.0),
+      record(Sensitivity::kTimeSensitive, 0, 10, 5.0, 1e-12),
+  };
+  EXPECT_DOUBLE_EQ(zero_utility_fraction(jobs), 0.75);
+  EXPECT_DOUBLE_EQ(zero_utility_fraction({}), 0.0);
+}
+
+TEST(Report, BudgetHitFraction) {
+  std::vector<JobRecord> jobs = {
+      record(Sensitivity::kTimeCritical, 0, 100, 90, 1.0),   // hit
+      record(Sensitivity::kTimeSensitive, 0, 100, 150, 1.0), // miss
+      record(Sensitivity::kTimeInsensitive, 0, 0, 500, 1.0), // not counted
+      record(Sensitivity::kTimeCritical, 0, 100, kNever, 0), // miss
+  };
+  EXPECT_NEAR(budget_hit_fraction(jobs), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TextTable, AlignsColumnsAndValidatesArity) {
+  TextTable table({"scheduler", "median", "q3"});
+  table.add_row({"RUSH", TextTable::num(-12.345, 1), "3.0"});
+  table.add_row({"FIFO", "250.0", "900.0"});
+  EXPECT_THROW(table.add_row({"too", "few"}), InvalidInput);
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("RUSH"), std::string::npos);
+  EXPECT_NE(text.find("-12.3"), std::string::npos);
+  EXPECT_NE(text.find("scheduler"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+}
+
+TEST(AsciiBar, ProportionalAndClamped) {
+  EXPECT_EQ(ascii_bar(0.0, 10), "..........");
+  EXPECT_EQ(ascii_bar(1.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(0.5, 10), "#####.....");
+  EXPECT_EQ(ascii_bar(-3.0, 4), "....");
+  EXPECT_EQ(ascii_bar(9.0, 4), "####");
+}
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = "/tmp/rush_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"plain", "with,comma"});
+    csv.add_row({"quote\"inside", "line\nbreak"});
+    EXPECT_THROW(csv.add_row({"one"}), InvalidInput);
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("a,b\n"), std::string::npos);
+  EXPECT_NE(text.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(text.find("\"quote\"\"inside\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+}  // namespace
+}  // namespace rush

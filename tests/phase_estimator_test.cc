@@ -1,0 +1,88 @@
+#include "src/estimator/phase_estimator.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/estimator/distribution_estimator.h"
+
+namespace rush {
+namespace {
+
+TEST(PhaseEstimator, SeparatesMapAndReduceMoments) {
+  PhaseAwareEstimator e;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) e.observe(rng.normal_at_least(20.0, 3.0, 1.0), false);
+  for (int i = 0; i < 20; ++i) e.observe(rng.normal_at_least(120.0, 10.0, 1.0), true);
+  EXPECT_NEAR(e.map_mean(), 20.0, 2.0);
+  EXPECT_NEAR(e.reduce_mean(), 120.0, 8.0);
+}
+
+TEST(PhaseEstimator, RemainingDemandWeighsPhases) {
+  PhaseAwareEstimator e;
+  for (int i = 0; i < 30; ++i) e.observe(10.0, false);
+  for (int i = 0; i < 10; ++i) e.observe(100.0, true);
+  // 5 maps + 2 reduces: 5*10 + 2*100 = 250 container-seconds.
+  const auto pmf = e.remaining_demand(5, 2, 256);
+  EXPECT_NEAR(pmf.mean(), 250.0, 10.0);
+  // Pooled estimator would average ~32.5 s/task: 7 * 32.5 = 227.5 — and for
+  // a pure reduce tail it is far worse:
+  const auto reduce_tail = e.remaining_demand(0, 2, 256);
+  EXPECT_NEAR(reduce_tail.mean(), 200.0, 10.0);
+  GaussianEstimator pooled;
+  for (int i = 0; i < 30; ++i) pooled.observe(10.0);
+  for (int i = 0; i < 10; ++i) pooled.observe(100.0);
+  const auto pooled_tail = pooled.remaining_demand(2, 256);
+  EXPECT_LT(pooled_tail.mean(), 100.0);  // badly underestimates the reduces
+}
+
+TEST(PhaseEstimator, MeanRuntimeIsRemainingMixWeighted) {
+  PhaseAwareEstimator e;
+  for (int i = 0; i < 10; ++i) e.observe(10.0, false);
+  for (int i = 0; i < 10; ++i) e.observe(50.0, true);
+  EXPECT_NEAR(e.mean_runtime(3, 1), (3 * 10.0 + 1 * 50.0) / 4.0, 1e-6);
+  EXPECT_NEAR(e.mean_runtime(0, 4), 50.0, 1e-6);
+  EXPECT_NEAR(e.mean_runtime(4, 0), 10.0, 1e-6);
+}
+
+TEST(PhaseEstimator, CrossPhaseFallbackBeforeReduceSamples) {
+  // Maps observed, reduces not yet (barrier!): reduce estimates fall back
+  // to the map moments, not the static prior.
+  EstimatorPrior prior;
+  prior.mean_runtime = 999.0;
+  prior.min_samples = 3;
+  PhaseAwareEstimator e(prior);
+  for (int i = 0; i < 10; ++i) e.observe(25.0, false);
+  EXPECT_NEAR(e.reduce_mean(), 25.0, 1e-6);
+}
+
+TEST(PhaseEstimator, PriorDrivesColdStart) {
+  EstimatorPrior prior;
+  prior.mean_runtime = 40.0;
+  prior.stddev_runtime = 10.0;
+  PhaseAwareEstimator e(prior);
+  const auto pmf = e.remaining_demand(4, 1, 128);
+  EXPECT_NEAR(pmf.mean(), 5 * 40.0, 25.0);
+}
+
+TEST(PhaseEstimator, ZeroRemainingTasksYieldValidPmf) {
+  PhaseAwareEstimator e;
+  for (int i = 0; i < 5; ++i) e.observe(10.0, false);
+  const auto pmf = e.remaining_demand(0, 0, 64);
+  EXPECT_TRUE(pmf.is_normalized(1e-6));
+  EXPECT_LT(pmf.mean(), 1.0);
+}
+
+TEST(PhaseEstimator, Validation) {
+  PhaseAwareEstimator e;
+  EXPECT_THROW(e.observe(-1.0, false), InvalidInput);
+  EXPECT_THROW(e.remaining_demand(-1, 0, 64), InvalidInput);
+  EXPECT_THROW(e.mean_runtime(0, -1), InvalidInput);
+  EstimatorPrior bad;
+  bad.mean_runtime = 0.0;
+  EXPECT_THROW(PhaseAwareEstimator{bad}, InvalidInput);
+}
+
+}  // namespace
+}  // namespace rush

@@ -1,0 +1,166 @@
+#include "src/stats/pmf.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace rush {
+namespace {
+
+TEST(QuantizedPmf, ConstructionValidation) {
+  EXPECT_THROW(QuantizedPmf(0, 1.0), InvalidInput);
+  EXPECT_THROW(QuantizedPmf(4, 0.0), InvalidInput);
+  EXPECT_THROW(QuantizedPmf(4, -1.0), InvalidInput);
+  const QuantizedPmf pmf(8, 2.5);
+  EXPECT_EQ(pmf.bins(), 8u);
+  EXPECT_DOUBLE_EQ(pmf.bin_width(), 2.5);
+  EXPECT_DOUBLE_EQ(pmf.tau_max(), 20.0);
+  EXPECT_DOUBLE_EQ(pmf.total_mass(), 0.0);
+}
+
+TEST(QuantizedPmf, FromWeightsNormalizes) {
+  const auto pmf = QuantizedPmf::from_weights({1.0, 3.0, 0.0, 4.0}, 1.0);
+  EXPECT_TRUE(pmf.is_normalized());
+  EXPECT_DOUBLE_EQ(pmf.mass(0), 0.125);
+  EXPECT_DOUBLE_EQ(pmf.mass(1), 0.375);
+  EXPECT_DOUBLE_EQ(pmf.mass(2), 0.0);
+  EXPECT_DOUBLE_EQ(pmf.mass(3), 0.5);
+}
+
+TEST(QuantizedPmf, FromWeightsRejectsNegativeAndZero) {
+  EXPECT_THROW(QuantizedPmf::from_weights({1.0, -0.1}, 1.0), InvalidInput);
+  EXPECT_THROW(QuantizedPmf::from_weights({0.0, 0.0}, 1.0), InvalidInput);
+}
+
+TEST(QuantizedPmf, BinOfClampsIntoRange) {
+  const QuantizedPmf pmf(10, 2.0);
+  EXPECT_EQ(pmf.bin_of(-5.0), 0u);
+  EXPECT_EQ(pmf.bin_of(0.0), 0u);
+  EXPECT_EQ(pmf.bin_of(1.99), 0u);
+  EXPECT_EQ(pmf.bin_of(2.0), 1u);
+  EXPECT_EQ(pmf.bin_of(19.99), 9u);
+  EXPECT_EQ(pmf.bin_of(1e9), 9u);
+}
+
+TEST(QuantizedPmf, ImpulsePutsAllMassInOneBin) {
+  const auto pmf = QuantizedPmf::impulse(7.3, 16, 1.0);
+  EXPECT_DOUBLE_EQ(pmf.mass(7), 1.0);
+  EXPECT_TRUE(pmf.is_normalized());
+  EXPECT_DOUBLE_EQ(pmf.quantile_value(0.5), 8.0);  // upper edge of bin 7
+}
+
+TEST(QuantizedPmf, CdfIsMonotoneAndReachesOne) {
+  const auto pmf = QuantizedPmf::from_weights({2, 1, 5, 0, 2}, 1.0);
+  double prev = 0.0;
+  for (std::size_t l = 0; l < pmf.bins(); ++l) {
+    EXPECT_GE(pmf.cdf(l), prev - 1e-12);
+    prev = pmf.cdf(l);
+  }
+  EXPECT_NEAR(pmf.cdf(pmf.bins() - 1), 1.0, 1e-12);
+}
+
+TEST(QuantizedPmf, QuantileMatchesManualComputation) {
+  const auto pmf = QuantizedPmf::from_weights({0.1, 0.2, 0.3, 0.4}, 10.0);
+  EXPECT_EQ(pmf.quantile_bin(0.05), 0u);
+  EXPECT_EQ(pmf.quantile_bin(0.1), 0u);   // cdf(0) == 0.1 >= 0.1
+  EXPECT_EQ(pmf.quantile_bin(0.11), 1u);
+  EXPECT_EQ(pmf.quantile_bin(0.6), 2u);
+  EXPECT_EQ(pmf.quantile_bin(0.61), 3u);
+  EXPECT_EQ(pmf.quantile_bin(1.0), 3u);
+  EXPECT_DOUBLE_EQ(pmf.quantile_value(0.6), 30.0);
+}
+
+TEST(QuantizedPmf, GaussianMassCentersOnMean) {
+  const auto pmf = QuantizedPmf::gaussian(50.0, 5.0, 100, 1.0);
+  EXPECT_TRUE(pmf.is_normalized());
+  EXPECT_NEAR(pmf.mean(), 50.0, 1.5);
+  // ~95% of mass within 2 sigma.
+  double mass = 0.0;
+  for (std::size_t l = 39; l <= 60; ++l) mass += pmf.mass(l);
+  EXPECT_GT(mass, 0.94);
+}
+
+TEST(QuantizedPmf, GaussianZeroStddevIsImpulse) {
+  const auto pmf = QuantizedPmf::gaussian(12.0, 0.0, 20, 1.0);
+  EXPECT_DOUBLE_EQ(pmf.mass(12), 1.0);
+}
+
+TEST(QuantizedPmf, GaussianTailsFoldIntoEdgeBins) {
+  // Mean far above the support: everything lands in the last bin.
+  const auto high = QuantizedPmf::gaussian(1000.0, 1.0, 10, 1.0);
+  EXPECT_NEAR(high.mass(9), 1.0, 1e-9);
+  // Mean below zero: everything lands in the first bin.
+  const auto low = QuantizedPmf::gaussian(-50.0, 1.0, 10, 1.0);
+  EXPECT_NEAR(low.mass(0), 1.0, 1e-9);
+}
+
+TEST(QuantizedPmf, KlDivergenceOfIdenticalIsZero) {
+  const auto pmf = QuantizedPmf::from_weights({1, 2, 3, 4}, 1.0);
+  EXPECT_NEAR(pmf.kl_divergence(pmf), 0.0, 1e-12);
+}
+
+TEST(QuantizedPmf, KlDivergenceIsPositiveForDifferentDistributions) {
+  const auto p = QuantizedPmf::from_weights({1, 2, 3, 4}, 1.0);
+  const auto q = QuantizedPmf::from_weights({4, 3, 2, 1}, 1.0);
+  EXPECT_GT(p.kl_divergence(q), 0.0);
+  EXPECT_GT(q.kl_divergence(p), 0.0);
+}
+
+TEST(QuantizedPmf, KlDivergenceInfiniteOutsideSupport) {
+  const auto p = QuantizedPmf::from_weights({0.5, 0.5, 0.0}, 1.0);
+  const auto q = QuantizedPmf::from_weights({1.0, 0.0, 0.0}, 1.0);
+  EXPECT_TRUE(std::isinf(p.kl_divergence(q)));
+  // The other direction stays finite: q's support is inside p's.
+  EXPECT_TRUE(std::isfinite(q.kl_divergence(p)));
+}
+
+TEST(QuantizedPmf, KlDivergenceRequiresMatchingBins) {
+  const auto p = QuantizedPmf::from_weights({1, 1}, 1.0);
+  const auto q = QuantizedPmf::from_weights({1, 1, 1}, 1.0);
+  EXPECT_THROW(p.kl_divergence(q), InvalidInput);
+}
+
+TEST(QuantizedPmf, PrefixCdfMatchesCdf) {
+  const auto pmf = QuantizedPmf::from_weights({3, 0, 1, 2, 4}, 1.0);
+  const auto prefix = pmf.prefix_cdf();
+  ASSERT_EQ(prefix.size(), pmf.bins());
+  for (std::size_t l = 0; l < pmf.bins(); ++l) {
+    EXPECT_NEAR(prefix[l], pmf.cdf(l), 1e-12);
+  }
+}
+
+TEST(QuantizedPmf, MeanAndVarianceOfImpulse) {
+  const auto pmf = QuantizedPmf::impulse(5.0, 10, 1.0);
+  EXPECT_DOUBLE_EQ(pmf.mean(), 6.0);  // upper edge convention
+  EXPECT_DOUBLE_EQ(pmf.variance(), 0.0);
+}
+
+// Property sweep: random PMFs keep KL >= 0 (Gibbs' inequality) and the
+// quantile function is the generalised inverse of the CDF.
+class PmfPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PmfPropertyTest, GibbsInequalityAndQuantileInverse) {
+  Rng rng(GetParam());
+  std::vector<double> w1(32), w2(32);
+  for (auto& w : w1) w = rng.uniform() + 1e-3;
+  for (auto& w : w2) w = rng.uniform() + 1e-3;
+  const auto p = QuantizedPmf::from_weights(w1, 2.0);
+  const auto q = QuantizedPmf::from_weights(w2, 2.0);
+  EXPECT_GE(p.kl_divergence(q), 0.0);
+
+  for (double theta : {0.05, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const std::size_t bin = p.quantile_bin(theta);
+    EXPECT_GE(p.cdf(bin), theta - 1e-12);
+    if (bin > 0) {
+      EXPECT_LT(p.cdf(bin - 1), theta);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PmfPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace rush

@@ -1,0 +1,141 @@
+#include "src/robust/rem.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace rush {
+namespace {
+
+QuantizedPmf random_pmf(Rng& rng, std::size_t bins, double width = 1.0) {
+  std::vector<double> w(bins);
+  for (auto& x : w) x = rng.uniform() + 1e-3;
+  return QuantizedPmf::from_weights(w, width);
+}
+
+TEST(Rem, FeasibleReferenceHasZeroKl) {
+  // CDF(2) of this phi is 0.3 <= theta: phi itself satisfies (10).
+  const auto phi = QuantizedPmf::from_weights({0.1, 0.1, 0.1, 0.3, 0.4}, 1.0);
+  const auto result = solve_rem(phi, 2, 0.5);
+  EXPECT_DOUBLE_EQ(result.kl, 0.0);
+  for (std::size_t l = 0; l < phi.bins(); ++l) {
+    EXPECT_DOUBLE_EQ(result.worst_case.mass(l), phi.mass(l));
+  }
+}
+
+TEST(Rem, RescalesHeadAndTailPerEquation11) {
+  const auto phi = QuantizedPmf::from_weights({0.4, 0.4, 0.1, 0.1}, 1.0);
+  const double theta = 0.5;
+  const auto result = solve_rem(phi, 1, theta);  // CDF(1) = 0.8 > theta
+  // Head bins scaled by theta/0.8, tail bins by 0.5/0.2.
+  EXPECT_NEAR(result.worst_case.mass(0), 0.4 * theta / 0.8, 1e-12);
+  EXPECT_NEAR(result.worst_case.mass(1), 0.4 * theta / 0.8, 1e-12);
+  EXPECT_NEAR(result.worst_case.mass(2), 0.1 * 0.5 / 0.2, 1e-12);
+  EXPECT_NEAR(result.worst_case.mass(3), 0.1 * 0.5 / 0.2, 1e-12);
+  EXPECT_TRUE(result.worst_case.is_normalized());
+  // Constraint (10) is tight at the optimum.
+  EXPECT_NEAR(result.worst_case.cdf(1), theta, 1e-12);
+}
+
+TEST(Rem, ReturnedKlMatchesDirectDivergence) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto phi = random_pmf(rng, 24);
+    const std::size_t bin = static_cast<std::size_t>(rng.uniform_int(0, 22));
+    const double theta = rng.uniform(0.05, 0.95);
+    const auto result = solve_rem(phi, bin, theta);
+    if (std::isinf(result.kl)) continue;
+    EXPECT_NEAR(result.kl, result.worst_case.kl_divergence(phi), 1e-9);
+  }
+}
+
+TEST(Rem, BinaryKlIdentity) {
+  // rem_min_kl equals the binary KL divergence between (theta,1-theta) and
+  // (S,1-S).
+  for (double s : {0.55, 0.7, 0.9, 0.99}) {
+    for (double theta : {0.1, 0.3, 0.5}) {
+      if (s <= theta) continue;
+      const double expected = theta * std::log(theta / s) +
+                              (1 - theta) * std::log((1 - theta) / (1 - s));
+      EXPECT_NEAR(rem_min_kl(s, theta), expected, 1e-12);
+      EXPECT_GT(rem_min_kl(s, theta), 0.0);
+    }
+  }
+}
+
+TEST(Rem, MinKlZeroWhenAlreadyFeasible) {
+  EXPECT_DOUBLE_EQ(rem_min_kl(0.3, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(rem_min_kl(0.5, 0.5), 0.0);
+}
+
+TEST(Rem, MinKlInfiniteWithoutTailSupport) {
+  EXPECT_TRUE(std::isinf(rem_min_kl(1.0, 0.5)));
+}
+
+TEST(Rem, MinKlMonotoneInCdf) {
+  double prev = 0.0;
+  for (double s = 0.5; s < 1.0; s += 0.01) {
+    const double kl = rem_min_kl(s, 0.4);
+    EXPECT_GE(kl, prev - 1e-12);
+    prev = kl;
+  }
+}
+
+TEST(Rem, InputValidation) {
+  const auto phi = QuantizedPmf::from_weights({1, 1}, 1.0);
+  EXPECT_THROW(solve_rem(phi, 5, 0.5), InvalidInput);   // bin out of range
+  EXPECT_THROW(solve_rem(phi, 0, 0.0), InvalidInput);   // theta boundary
+  EXPECT_THROW(solve_rem(phi, 0, 1.0), InvalidInput);
+  QuantizedPmf unnormalized(4, 1.0);
+  unnormalized.set_mass(0, 0.3);
+  EXPECT_THROW(solve_rem(unnormalized, 0, 0.5), InvalidInput);
+}
+
+// Theorem 1 (optimality): the closed form achieves the minimum KL among
+// feasible distributions.  Verify against a brute-force search over random
+// perturbed feasible candidates: none may beat the closed form.
+class RemOptimalityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RemOptimalityTest, NoFeasibleCandidateBeatsClosedForm) {
+  Rng rng(GetParam());
+  const std::size_t bins = 12;
+  const auto phi = random_pmf(rng, bins);
+  const double theta = rng.uniform(0.1, 0.9);
+  const auto bin = static_cast<std::size_t>(rng.uniform_int(0, bins - 2));
+  const auto optimum = solve_rem(phi, bin, theta);
+  if (std::isinf(optimum.kl)) return;
+
+  for (int candidate = 0; candidate < 300; ++candidate) {
+    // Random feasible candidate: random head mass in [0, theta], random
+    // positive weights otherwise.
+    std::vector<double> head(bin + 1), tail(bins - bin - 1);
+    double head_sum = 0.0, tail_sum = 0.0;
+    for (auto& h : head) {
+      h = rng.uniform() + 1e-4;
+      head_sum += h;
+    }
+    for (auto& t : tail) {
+      t = rng.uniform() + 1e-4;
+      tail_sum += t;
+    }
+    const double head_mass = rng.uniform(0.0, theta);
+    QuantizedPmf p(bins, phi.bin_width());
+    for (std::size_t l = 0; l <= bin; ++l) {
+      p.set_mass(l, head[l] / head_sum * head_mass);
+    }
+    for (std::size_t l = bin + 1; l < bins; ++l) {
+      p.set_mass(l, tail[l - bin - 1] / tail_sum * (1.0 - head_mass));
+    }
+    ASSERT_TRUE(p.is_normalized(1e-6));
+    ASSERT_LE(p.cdf(bin), theta + 1e-9);  // candidate is feasible
+    EXPECT_GE(p.kl_divergence(phi), optimum.kl - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RemOptimalityTest,
+                         ::testing::Values(3, 7, 13, 29, 41, 53, 67, 79, 97, 113));
+
+}  // namespace
+}  // namespace rush

@@ -1,0 +1,100 @@
+#include "src/lp/simplex.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> (2, 6), 36.
+  LpProblem lp({3.0, 5.0});
+  lp.add_constraint({1.0, 0.0}, LpSense::kLessEqual, 4.0);
+  lp.add_constraint({0.0, 2.0}, LpSense::kLessEqual, 12.0);
+  lp.add_constraint({3.0, 2.0}, LpSense::kLessEqual, 18.0);
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, HandlesGreaterEqualAndEquality) {
+  // min x + 2y  (as max -(x+2y))  s.t. x + y >= 4, x - y = 1  -> x=2.5, y=1.5.
+  LpProblem lp({-1.0, -2.0});
+  lp.add_constraint({1.0, 1.0}, LpSense::kGreaterEqual, 4.0);
+  lp.add_constraint({1.0, -1.0}, LpSense::kEqual, 1.0);
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.5, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.5, 1e-9);
+  EXPECT_NEAR(sol.objective, -5.5, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LpProblem lp({1.0});
+  lp.add_constraint({1.0}, LpSense::kLessEqual, 1.0);
+  lp.add_constraint({1.0}, LpSense::kGreaterEqual, 2.0);
+  EXPECT_EQ(lp.solve().status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LpProblem lp({1.0, 0.0});
+  lp.add_constraint({0.0, 1.0}, LpSense::kLessEqual, 5.0);
+  EXPECT_EQ(lp.solve().status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsIsNormalized) {
+  // x <= -1 is infeasible for x >= 0; -x <= -1 (i.e. x >= 1) is fine.
+  LpProblem infeasible({1.0});
+  infeasible.add_constraint({1.0}, LpSense::kLessEqual, -1.0);
+  EXPECT_EQ(infeasible.solve().status, LpStatus::kInfeasible);
+
+  LpProblem fine({-1.0});
+  fine.add_constraint({-1.0}, LpSense::kLessEqual, -1.0);
+  const auto sol = fine.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degeneracy: multiple constraints active at the optimum.
+  LpProblem lp({1.0, 1.0});
+  lp.add_constraint({1.0, 0.0}, LpSense::kLessEqual, 1.0);
+  lp.add_constraint({1.0, 0.0}, LpSense::kLessEqual, 1.0);  // duplicate
+  lp.add_constraint({0.0, 1.0}, LpSense::kLessEqual, 1.0);
+  lp.add_constraint({1.0, 1.0}, LpSense::kLessEqual, 2.0);
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // x + y = 2 listed twice; optimum must still be found.
+  LpProblem lp({1.0, 0.0});
+  lp.add_constraint({1.0, 1.0}, LpSense::kEqual, 2.0);
+  lp.add_constraint({1.0, 1.0}, LpSense::kEqual, 2.0);
+  const auto sol = lp.solve();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, ValidatesInput) {
+  EXPECT_THROW(LpProblem({}), InvalidInput);
+  LpProblem lp({1.0});
+  EXPECT_THROW(lp.add_constraint({1.0, 2.0}, LpSense::kLessEqual, 1.0), InvalidInput);
+}
+
+TEST(Simplex, FeasibilityOnlyProblems) {
+  LpProblem lp(std::vector<double>(3, 0.0));
+  lp.add_constraint({1.0, 1.0, 1.0}, LpSense::kGreaterEqual, 3.0);
+  lp.add_constraint({1.0, 0.0, 0.0}, LpSense::kLessEqual, 1.0);
+  lp.add_constraint({0.0, 1.0, 0.0}, LpSense::kLessEqual, 1.0);
+  lp.add_constraint({0.0, 0.0, 1.0}, LpSense::kLessEqual, 1.0);
+  EXPECT_EQ(lp.solve().status, LpStatus::kOptimal);  // exactly x=(1,1,1)
+}
+
+}  // namespace
+}  // namespace rush

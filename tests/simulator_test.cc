@@ -1,0 +1,76 @@
+#include "src/sim/simulator.h"
+
+#include <vector>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, FifoAmongSimultaneousEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(Simulator, MaxTimeStopsExecution) {
+  Simulator sim;
+  int fired = 0;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run(2.5), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending(), 2u);
+  // Remaining events still runnable afterwards.
+  sim.run();
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Simulator, RejectsPastEvents) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), InvalidInput);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), InvalidInput);
+}
+
+TEST(Simulator, NowAdvancesDuringCallbacks) {
+  Simulator sim;
+  double observed = -1.0;
+  sim.schedule_at(7.5, [&] { observed = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(observed, 7.5);
+}
+
+}  // namespace
+}  // namespace rush

@@ -1,0 +1,121 @@
+// Speculative execution (Hadoop-style backup attempts, related work [2] of
+// the paper): stragglers get duplicated onto idle containers; the first
+// attempt to finish wins and the losers are killed immediately.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/fifo_scheduler.h"
+#include "src/cluster/cluster.h"
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+JobSpec simple_job(const std::string& name, int maps, Seconds task_seconds) {
+  JobSpec spec;
+  spec.name = name;
+  spec.arrival = 0.0;
+  spec.budget = 1e5;
+  spec.utility_kind = "linear";
+  spec.beta = 0.001;
+  for (int m = 0; m < maps; ++m) spec.tasks.push_back({task_seconds, false});
+  return spec;
+}
+
+ClusterConfig spec_config(bool speculation, std::uint64_t seed = 3) {
+  ClusterConfig config;
+  config.nodes = {{4, 1.0}, {2, 5.0}};  // two very slow containers
+  config.runtime_noise_sigma = 0.15;
+  config.enable_speculation = speculation;
+  config.speculation_threshold = 1.4;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Speculation, BackupsRescueStragglersOnSlowNodes) {
+  // 12 tasks on 6 containers: the two 3x-slower containers produce
+  // stragglers; speculation should cut the makespan.
+  const auto makespan_with = [](bool speculation) {
+    FifoScheduler scheduler(false);
+    Cluster cluster(spec_config(speculation), scheduler);
+    cluster.submit(simple_job("straggly", 12, 20.0));
+    const auto result = cluster.run();
+    EXPECT_TRUE(result.completed);
+    return std::make_pair(result.makespan, result.speculative_attempts);
+  };
+  const auto [slow, no_backups] = makespan_with(false);
+  const auto [fast, backups] = makespan_with(true);
+  EXPECT_EQ(no_backups, 0);
+  EXPECT_GT(backups, 0);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(Speculation, DisabledMeansNoBackups) {
+  FifoScheduler scheduler(false);
+  Cluster cluster(spec_config(false), scheduler);
+  cluster.submit(simple_job("plain", 20, 10.0));
+  const auto result = cluster.run();
+  EXPECT_EQ(result.speculative_attempts, 0);
+  EXPECT_EQ(result.speculative_kills, 0);
+}
+
+TEST(Speculation, EachTaskCompletesExactlyOnce) {
+  FifoScheduler scheduler(false);
+  Cluster cluster(spec_config(true, 7), scheduler);
+  cluster.submit(simple_job("exact", 16, 15.0));
+  cluster.submit(simple_job("other", 8, 15.0));
+  const auto result = cluster.run();
+  EXPECT_TRUE(result.completed);
+  // Every backup launched either wins (killing the original) or is killed:
+  // kills == attempts that lost.  Both jobs complete with the exact task
+  // counts regardless.
+  EXPECT_EQ(result.jobs[0].tasks, 16);
+  EXPECT_EQ(result.jobs[1].tasks, 8);
+  EXPECT_LE(result.speculative_kills, result.speculative_attempts + 0);
+  EXPECT_GT(result.speculative_attempts, 0);
+}
+
+TEST(Speculation, RespectsMaxAttemptsPerTask) {
+  FifoScheduler scheduler(false);
+  ClusterConfig config = spec_config(true, 9);
+  config.max_attempts_per_task = 1;  // speculation effectively disabled
+  Cluster cluster(config, scheduler);
+  cluster.submit(simple_job("capped", 12, 20.0));
+  const auto result = cluster.run();
+  EXPECT_EQ(result.speculative_attempts, 0);
+}
+
+TEST(Speculation, WorksTogetherWithFailures) {
+  FifoScheduler scheduler(false);
+  ClusterConfig config = spec_config(true, 11);
+  config.task_failure_probability = 0.2;
+  Cluster cluster(config, scheduler);
+  cluster.submit(simple_job("chaos", 24, 12.0));
+  const auto result = cluster.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.task_failures, 0);
+}
+
+TEST(Speculation, DeterministicInSeed) {
+  const auto run_once = [] {
+    FifoScheduler scheduler(false);
+    Cluster cluster(spec_config(true, 13), scheduler);
+    cluster.submit(simple_job("det", 15, 18.0));
+    const auto result = cluster.run();
+    return std::make_pair(result.makespan, result.speculative_attempts);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Speculation, ConfigValidation) {
+  FifoScheduler scheduler(false);
+  ClusterConfig bad = spec_config(true);
+  bad.max_attempts_per_task = 0;
+  EXPECT_THROW(Cluster(bad, scheduler), InvalidInput);
+  bad = spec_config(true);
+  bad.speculation_threshold = 0.0;
+  EXPECT_THROW(Cluster(bad, scheduler), InvalidInput);
+}
+
+}  // namespace
+}  // namespace rush

@@ -1,0 +1,125 @@
+#include "src/stats/summary.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace rush {
+namespace {
+
+TEST(OnlineStats, MatchesClosedFormMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, NumericallyStableForLargeOffsets) {
+  OnlineStats s;
+  const double offset = 1e9;
+  for (double x : {1.0, 2.0, 3.0}) s.add(offset + x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Boxplot, FiveNumberSummary) {
+  const auto s = boxplot_stats({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_TRUE(s.outliers.empty());
+  EXPECT_DOUBLE_EQ(s.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(s.whisker_high, 9.0);
+}
+
+TEST(Boxplot, DetectsOutliersBeyondTukeyFences) {
+  std::vector<double> data = {10, 11, 12, 13, 14, 15, 16, 17, 100};
+  const auto s = boxplot_stats(data);
+  ASSERT_EQ(s.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.outliers[0], 100.0);
+  EXPECT_LT(s.whisker_high, 100.0);
+}
+
+TEST(Boxplot, EmptySampleThrows) { EXPECT_THROW(boxplot_stats({}), InvalidInput); }
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> data = {0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(data, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 50), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 25), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 12.5), 5.0);
+}
+
+TEST(EmpiricalCdf, StepFunctionSemantics) {
+  const EmpiricalCdf cdf({1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(3.9), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileIsInverse) {
+  const EmpiricalCdf cdf({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+  for (double q : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    EXPECT_GE(cdf.at(cdf.quantile(q)), q - 1e-12);
+  }
+}
+
+TEST(Histogram, CountsAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamped into bucket 0
+  h.add(0.5);
+  h.add(3.0);
+  h.add(9.9);
+  h.add(25.0);  // clamped into last bucket
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(1), 4.0);
+}
+
+// Property: boxplot quartiles bracket the median and whiskers bracket the
+// quartiles for random samples.
+class BoxplotPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoxplotPropertyTest, OrderingInvariants) {
+  Rng rng(GetParam());
+  std::vector<double> data;
+  const int n = 5 + static_cast<int>(rng.uniform_int(0, 200));
+  for (int i = 0; i < n; ++i) data.push_back(rng.normal(0.0, 10.0));
+  const auto s = boxplot_stats(data);
+  EXPECT_LE(s.min, s.q1);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_LE(s.median, s.q3);
+  EXPECT_LE(s.q3, s.max);
+  EXPECT_LE(s.whisker_low, s.q1 + 1e-12);
+  EXPECT_GE(s.whisker_high, s.q3 - 1e-12);
+  EXPECT_EQ(s.count, data.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxplotPropertyTest,
+                         ::testing::Values(7, 11, 19, 23, 31, 43, 59, 71));
+
+}  // namespace
+}  // namespace rush

@@ -1,0 +1,79 @@
+#include "src/lp/tas_lp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace rush {
+namespace {
+
+TEST(TasLp, SimpleFeasibleAndInfeasibleCases) {
+  // 2 containers: 20 container-seconds by t=10 is exactly feasible;
+  // 21 is not.
+  EXPECT_TRUE(lp_deadline_feasible({{10.0, 20.0}}, 2, 0.0));
+  EXPECT_FALSE(lp_deadline_feasible({{10.0, 20.5}}, 2, 0.0));
+  EXPECT_TRUE(edf_deadline_feasible({{10.0, 20.0}}, 2, 0.0));
+  EXPECT_FALSE(edf_deadline_feasible({{10.0, 20.5}}, 2, 0.0));
+}
+
+TEST(TasLp, PrefixConditionMatters) {
+  // Two jobs: the later one is fine alone, but the early one's load makes
+  // the pair infeasible at the early deadline only.
+  const std::vector<LpDeadlineJob> jobs = {{5.0, 12.0}, {20.0, 10.0}};
+  // Capacity 2: prefix at t=5 needs 12 > 10 -> infeasible.
+  EXPECT_FALSE(lp_deadline_feasible(jobs, 2, 0.0));
+  EXPECT_FALSE(edf_deadline_feasible(jobs, 2, 0.0));
+  // Capacity 3: 12 <= 15 and 22 <= 60 -> feasible.
+  EXPECT_TRUE(lp_deadline_feasible(jobs, 3, 0.0));
+  EXPECT_TRUE(edf_deadline_feasible(jobs, 3, 0.0));
+}
+
+TEST(TasLp, ZeroDemandJobsIgnored) {
+  EXPECT_TRUE(lp_deadline_feasible({{1.0, 0.0}, {2.0, -3.0}}, 1, 0.0));
+  EXPECT_TRUE(edf_deadline_feasible({}, 4, 100.0));
+}
+
+TEST(TasLp, NowOffsetsTheHorizon) {
+  // Starting at now=90 with deadline 100 leaves only 10 seconds.
+  EXPECT_TRUE(lp_deadline_feasible({{100.0, 10.0}}, 1, 90.0));
+  EXPECT_FALSE(lp_deadline_feasible({{100.0, 10.5}}, 1, 90.0));
+}
+
+TEST(TasLp, ValidatesInput) {
+  EXPECT_THROW(lp_deadline_feasible({{5.0, 1.0}}, 0, 0.0), InvalidInput);
+  EXPECT_THROW(lp_deadline_feasible({{5.0, 1.0}}, 2, 6.0), InvalidInput);
+  EXPECT_THROW(edf_deadline_feasible({{5.0, 1.0}}, 2, 6.0), InvalidInput);
+}
+
+// The core cross-check: on random instances the LP and the analytic EDF
+// condition must agree exactly — this is the evidence that onion peeling's
+// fast feasibility test decides the same question CoRa's LP did.
+class LpEdfAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpEdfAgreementTest, AgreeOnRandomInstances) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const ContainerCount capacity = 1 + static_cast<int>(rng.uniform_int(0, 7));
+    const Seconds now = rng.uniform(0.0, 50.0);
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 7));
+    std::vector<LpDeadlineJob> jobs;
+    for (int i = 0; i < n; ++i) {
+      LpDeadlineJob j;
+      j.deadline = now + rng.uniform(1.0, 60.0);
+      // Mix clearly-feasible and borderline demands.
+      j.eta = rng.uniform(0.1, 1.4) * capacity * (j.deadline - now) /
+              static_cast<double>(n);
+      jobs.push_back(j);
+    }
+    const bool lp = lp_deadline_feasible(jobs, capacity, now);
+    const bool edf = edf_deadline_feasible(jobs, capacity, now);
+    EXPECT_EQ(lp, edf) << "capacity=" << capacity << " n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpEdfAgreementTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace rush

@@ -1,0 +1,86 @@
+#include "src/workload/workload_io.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/workload/generator.h"
+
+namespace rush {
+namespace {
+
+void expect_same_workload(const std::vector<JobSpec>& a, const std::vector<JobSpec>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_DOUBLE_EQ(a[i].budget, b[i].budget);
+    EXPECT_DOUBLE_EQ(a[i].priority, b[i].priority);
+    EXPECT_DOUBLE_EQ(a[i].beta, b[i].beta);
+    EXPECT_EQ(a[i].utility_kind, b[i].utility_kind);
+    EXPECT_EQ(a[i].sensitivity, b[i].sensitivity);
+    ASSERT_EQ(a[i].tasks.size(), b[i].tasks.size());
+    for (std::size_t t = 0; t < a[i].tasks.size(); ++t) {
+      EXPECT_DOUBLE_EQ(a[i].tasks[t].nominal_runtime, b[i].tasks[t].nominal_runtime);
+      EXPECT_EQ(a[i].tasks[t].is_reduce, b[i].tasks[t].is_reduce);
+    }
+  }
+}
+
+TEST(WorkloadIo, RoundTripsAGeneratedWorkload) {
+  WorkloadConfig config;
+  config.num_jobs = 15;
+  config.seed = 33;
+  const auto original = generate_workload(config);
+  const auto restored = workload_from_xml(parse_xml(workload_to_xml(original)));
+  expect_same_workload(original, restored);
+}
+
+TEST(WorkloadIo, RoundTripsThroughAFile) {
+  WorkloadConfig config;
+  config.num_jobs = 5;
+  config.seed = 34;
+  const auto original = generate_workload(config);
+  const std::string path = "/tmp/rush_workload_io_test.xml";
+  save_workload(original, path);
+  const auto restored = load_workload(path);
+  expect_same_workload(original, restored);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIo, EscapesSpecialCharactersInNames) {
+  JobSpec job;
+  job.name = "a<b>&\"c\"";
+  job.tasks.push_back({5.0, false});
+  const auto restored = workload_from_xml(parse_xml(workload_to_xml({job})));
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0].name, job.name);
+}
+
+TEST(WorkloadIo, RejectsMalformedDocuments) {
+  EXPECT_THROW(workload_from_xml(parse_xml("<jobs/>")), InvalidInput);
+  EXPECT_THROW(workload_from_xml(parse_xml("<workload><task/></workload>")),
+               InvalidInput);
+  EXPECT_THROW(workload_from_xml(parse_xml(
+                   R"(<workload><job arrival="0" budget="1" priority="1" beta="1"/></workload>)")),
+               InvalidInput);  // no tasks
+  EXPECT_THROW(
+      workload_from_xml(parse_xml(
+          R"(<workload><job arrival="x" budget="1" priority="1" beta="1"><task seconds="1"/></job></workload>)")),
+      InvalidInput);  // non-numeric attribute
+  EXPECT_THROW(
+      workload_from_xml(parse_xml(
+          R"(<workload><job arrival="0" budget="1" priority="1" beta="1" sensitivity="mystery"><task seconds="1"/></job></workload>)")),
+      InvalidInput);  // unknown sensitivity
+  EXPECT_THROW(
+      workload_from_xml(parse_xml(
+          R"(<workload><job arrival="0" budget="1" priority="1" beta="1"><task seconds="0"/></job></workload>)")),
+      InvalidInput);  // zero-length task
+}
+
+TEST(WorkloadIo, MissingFileThrows) {
+  EXPECT_THROW(load_workload("/nonexistent/w.xml"), InvalidInput);
+}
+
+}  // namespace
+}  // namespace rush

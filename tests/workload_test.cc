@@ -1,0 +1,165 @@
+#include "src/workload/generator.h"
+
+#include <cmath>
+#include <map>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/workload/job_template.h"
+
+namespace rush {
+namespace {
+
+TEST(JobTemplates, EightTemplatesWithPaperNames) {
+  const auto& templates = puma_templates();
+  EXPECT_EQ(templates.size(), 8u);
+  for (const char* name :
+       {"MovieClassification", "HistogramMovies", "HistogramRatings", "InvertedIndex",
+        "SelfJoin", "SequenceCount", "WordCount", "TeraSort"}) {
+    EXPECT_NO_THROW(puma_template(name));
+  }
+  EXPECT_THROW(puma_template("Pi"), InvalidInput);
+}
+
+TEST(JobTemplates, InstantiateScalesWithDataSize) {
+  Rng rng(1);
+  const auto& wc = puma_template("WordCount");
+  const JobSpec small = instantiate(wc, 1.0, rng);
+  const JobSpec large = instantiate(wc, 10.0, rng);
+  EXPECT_NEAR(small.task_count(), wc.maps_per_gb * 1.0 + wc.reduces, 1);
+  EXPECT_NEAR(large.task_count(), wc.maps_per_gb * 10.0 + wc.reduces, 1);
+  int reduces = 0;
+  for (const TaskSpec& t : large.tasks) reduces += t.is_reduce ? 1 : 0;
+  EXPECT_EQ(reduces, 1);
+}
+
+TEST(JobTemplates, TaskRuntimesArePositiveAndNearTemplateMean) {
+  Rng rng(2);
+  const auto& tmpl = puma_template("InvertedIndex");
+  const JobSpec spec = instantiate(tmpl, 8.0, rng);
+  double sum = 0.0;
+  int maps = 0;
+  for (const TaskSpec& t : spec.tasks) {
+    EXPECT_GT(t.nominal_runtime, 0.0);
+    if (!t.is_reduce) {
+      sum += t.nominal_runtime;
+      ++maps;
+    }
+  }
+  EXPECT_NEAR(sum / maps, tmpl.map_task_seconds, tmpl.map_task_seconds * 0.25);
+}
+
+TEST(BenchmarkedRuntime, WaveModel) {
+  JobSpec spec;
+  for (int i = 0; i < 10; ++i) spec.tasks.push_back({10.0, false});
+  spec.tasks.push_back({30.0, true});
+  // 100 map-seconds on 5 containers = 20 s; reduce phase 30 s.
+  EXPECT_DOUBLE_EQ(benchmarked_runtime(spec, 5), 50.0);
+  // One container: 100 + 30.
+  EXPECT_DOUBLE_EQ(benchmarked_runtime(spec, 1), 130.0);
+  // Many containers: bounded below by the longest task per phase.
+  EXPECT_DOUBLE_EQ(benchmarked_runtime(spec, 1000), 40.0);
+  // Slow cluster scales linearly.
+  EXPECT_DOUBLE_EQ(benchmarked_runtime(spec, 5, 2.0), 100.0);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  WorkloadConfig config;
+  config.num_jobs = 20;
+  config.seed = 77;
+  const auto a = generate_workload(config);
+  const auto b = generate_workload(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_DOUBLE_EQ(a[i].budget, b[i].budget);
+    EXPECT_EQ(a[i].task_count(), b[i].task_count());
+  }
+  config.seed = 78;
+  const auto c = generate_workload(config);
+  EXPECT_NE(a[0].arrival, c[0].arrival);
+}
+
+TEST(Generator, SensitivityMixApproximatesTwentySixtyTwenty) {
+  WorkloadConfig config;
+  config.num_jobs = 1000;
+  config.seed = 5;
+  const auto jobs = generate_workload(config);
+  std::map<Sensitivity, int> counts;
+  for (const JobSpec& j : jobs) ++counts[j.sensitivity];
+  EXPECT_NEAR(counts[Sensitivity::kTimeCritical] / 1000.0, 0.2, 0.05);
+  EXPECT_NEAR(counts[Sensitivity::kTimeSensitive] / 1000.0, 0.6, 0.05);
+  EXPECT_NEAR(counts[Sensitivity::kTimeInsensitive] / 1000.0, 0.2, 0.05);
+}
+
+TEST(Generator, ArrivalsAreSortedPoisson) {
+  WorkloadConfig config;
+  config.num_jobs = 500;
+  config.mean_interarrival = 130.0;
+  config.seed = 6;
+  const auto jobs = generate_workload(config);
+  double prev = -1.0;
+  double total_gap = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_GT(jobs[i].arrival, prev);
+    if (i > 0) total_gap += jobs[i].arrival - jobs[i - 1].arrival;
+    prev = jobs[i].arrival;
+  }
+  EXPECT_NEAR(total_gap / (jobs.size() - 1), 130.0, 15.0);
+}
+
+TEST(Generator, BudgetsScaleWithRatio) {
+  WorkloadConfig tight;
+  tight.num_jobs = 30;
+  tight.budget_ratio = 1.0;
+  tight.seed = 9;
+  WorkloadConfig loose = tight;
+  loose.budget_ratio = 2.0;
+  const auto a = generate_workload(tight);
+  const auto b = generate_workload(loose);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(b[i].budget, 2.0 * a[i].budget, 1e-6);
+    EXPECT_GT(a[i].budget, 0.0);
+  }
+}
+
+TEST(Generator, PrioritiesInRange) {
+  WorkloadConfig config;
+  config.num_jobs = 200;
+  config.seed = 10;
+  for (const JobSpec& j : generate_workload(config)) {
+    EXPECT_GE(j.priority, 1.0);
+    EXPECT_LE(j.priority, 5.0);
+    EXPECT_DOUBLE_EQ(j.priority, std::floor(j.priority));
+  }
+}
+
+TEST(Generator, SensitivityShapesUtilities) {
+  JobSpec spec;
+  spec.tasks.push_back({10.0, false});
+  apply_sensitivity(spec, Sensitivity::kTimeCritical, 100.0, 4.0);
+  EXPECT_EQ(spec.utility_kind, "sigmoid");
+  const double critical_beta = spec.beta;
+  apply_sensitivity(spec, Sensitivity::kTimeSensitive, 100.0, 4.0);
+  EXPECT_LT(spec.beta, critical_beta);  // gentler cliff
+  apply_sensitivity(spec, Sensitivity::kTimeInsensitive, 100.0, 4.0);
+  EXPECT_EQ(spec.utility_kind, "constant");
+}
+
+TEST(Generator, ConfigValidation) {
+  WorkloadConfig bad;
+  bad.num_jobs = 0;
+  EXPECT_THROW(generate_workload(bad), InvalidInput);
+  bad = {};
+  bad.critical_fraction = 0.8;
+  bad.sensitive_fraction = 0.5;
+  EXPECT_THROW(generate_workload(bad), InvalidInput);
+  bad = {};
+  bad.min_gigabytes = 5.0;
+  bad.max_gigabytes = 1.0;
+  EXPECT_THROW(generate_workload(bad), InvalidInput);
+}
+
+}  // namespace
+}  // namespace rush

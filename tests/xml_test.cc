@@ -1,0 +1,138 @@
+#include "src/config/xml.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace rush {
+namespace {
+
+TEST(Xml, ParsesSimpleElement) {
+  const auto root = parse_xml("<job><name>wc</name><budget>120</budget></job>");
+  EXPECT_EQ(root.tag, "job");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.child_text("name"), "wc");
+  EXPECT_EQ(root.child_text("budget"), "120");
+  EXPECT_EQ(root.child_text("missing", "fallback"), "fallback");
+}
+
+TEST(Xml, ParsesNestedStructure) {
+  const auto root = parse_xml("<jobs><job><name>a</name></job><job><name>b</name></job></jobs>");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].child_text("name"), "a");
+  EXPECT_EQ(root.children[1].child_text("name"), "b");
+}
+
+TEST(Xml, ParsesAttributes) {
+  const auto root = parse_xml(R"(<job id="7" class='batch'><name>x</name></job>)");
+  EXPECT_EQ(root.attribute("id"), "7");
+  EXPECT_EQ(root.attribute("class"), "batch");
+  EXPECT_EQ(root.attribute("nope", "d"), "d");
+}
+
+TEST(Xml, SelfClosingTags) {
+  const auto root = parse_xml(R"(<jobs><job name="a"/><job name="b" /></jobs>)");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].attribute("name"), "a");
+  EXPECT_TRUE(root.children[0].children.empty());
+}
+
+TEST(Xml, SkipsDeclarationAndComments) {
+  const auto root = parse_xml(
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n"
+      "<job><!-- inner --><name>wc</name></job>\n<!-- trailer -->");
+  EXPECT_EQ(root.child_text("name"), "wc");
+}
+
+TEST(Xml, DecodesEntities) {
+  const auto root = parse_xml("<v>&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;</v>");
+  EXPECT_EQ(root.text, "<a> & \"b\" 'c'");
+}
+
+TEST(Xml, TrimsTextWhitespace) {
+  const auto root = parse_xml("<v>\n   hello world   \n</v>");
+  EXPECT_EQ(root.text, "hello world");
+}
+
+TEST(Xml, NumericAccessors) {
+  const auto root = parse_xml("<job><budget>120.5</budget><maps>40</maps></job>");
+  EXPECT_DOUBLE_EQ(root.child_double("budget", 0.0), 120.5);
+  EXPECT_EQ(root.child_long("maps", 0), 40);
+  EXPECT_DOUBLE_EQ(root.child_double("missing", 7.5), 7.5);
+}
+
+TEST(Xml, NumericAccessorsRejectGarbage) {
+  const auto root = parse_xml("<job><budget>12x</budget></job>");
+  EXPECT_THROW(root.child_double("budget", 0.0), InvalidInput);
+}
+
+TEST(Xml, MalformedDocumentsThrow) {
+  EXPECT_THROW(parse_xml("<job>"), InvalidInput);                   // unclosed
+  EXPECT_THROW(parse_xml("<a><b></a></b>"), InvalidInput);          // crossed
+  EXPECT_THROW(parse_xml("<a></a><b></b>"), InvalidInput);          // two roots
+  EXPECT_THROW(parse_xml("<a>&unknown;</a>"), InvalidInput);        // bad entity
+  EXPECT_THROW(parse_xml("<a attr=unquoted></a>"), InvalidInput);   // bad attr
+  EXPECT_THROW(parse_xml("<!-- only a comment -->"), InvalidInput); // no root
+}
+
+TEST(Xml, MissingFileThrows) {
+  EXPECT_THROW(parse_xml_file("/nonexistent/path.xml"), InvalidInput);
+}
+
+// Fuzz: the parser must never crash or hang — every input either parses or
+// throws InvalidInput.
+class XmlFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  const char alphabet[] = "<>/=\"'& abcXY-_;!?\n\t0129.lt";
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string input;
+    const int length = static_cast<int>(rng.uniform_int(0, 120));
+    for (int i = 0; i < length; ++i) {
+      input += alphabet[rng.uniform_int(0, sizeof(alphabet) - 2)];
+    }
+    try {
+      const XmlNode root = parse_xml(input);
+      EXPECT_FALSE(root.tag.empty());  // successful parses have a root tag
+    } catch (const InvalidInput&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST_P(XmlFuzzTest, MutatedValidDocumentsNeverCrash) {
+  Rng rng(GetParam() + 1000);
+  const std::string valid =
+      R"(<jobs><job id="1"><name>wc&amp;x</name><budget>120</budget></job></jobs>)";
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string input = valid;
+    const int mutations = 1 + static_cast<int>(rng.uniform_int(0, 4));
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(input.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          input[pos] = "<>/\"&x"[rng.uniform_int(0, 5)];
+          break;
+        case 1:
+          input.erase(pos, 1);
+          break;
+        default:
+          input.insert(pos, 1, '<');
+      }
+      if (input.empty()) input = "<";
+    }
+    try {
+      (void)parse_xml(input);
+    } catch (const InvalidInput&) {
+      // fine
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzzTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace rush
