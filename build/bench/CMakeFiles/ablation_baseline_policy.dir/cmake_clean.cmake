@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_baseline_policy.dir/ablation_baseline_policy.cc.o"
+  "CMakeFiles/ablation_baseline_policy.dir/ablation_baseline_policy.cc.o.d"
+  "ablation_baseline_policy"
+  "ablation_baseline_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baseline_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wcde.dir/ablation_wcde.cc.o"
+  "CMakeFiles/ablation_wcde.dir/ablation_wcde.cc.o.d"
+  "ablation_wcde"
+  "ablation_wcde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wcde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_estimator_robustness.dir/fig3_estimator_robustness.cc.o"
+  "CMakeFiles/fig3_estimator_robustness.dir/fig3_estimator_robustness.cc.o.d"
+  "fig3_estimator_robustness"
+  "fig3_estimator_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_estimator_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_latency_boxplot.dir/fig4_latency_boxplot.cc.o"
+  "CMakeFiles/fig4_latency_boxplot.dir/fig4_latency_boxplot.cc.o.d"
+  "fig4_latency_boxplot"
+  "fig4_latency_boxplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_latency_boxplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_report.dir/cluster_report.cpp.o"
+  "CMakeFiles/cluster_report.dir/cluster_report.cpp.o.d"
+  "cluster_report"
+  "cluster_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

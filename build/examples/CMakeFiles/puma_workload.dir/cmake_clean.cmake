@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puma_workload.dir/puma_workload.cpp.o"
+  "CMakeFiles/puma_workload.dir/puma_workload.cpp.o.d"
+  "puma_workload"
+  "puma_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puma_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_estimation.dir/robust_estimation.cpp.o"
+  "CMakeFiles/robust_estimation.dir/robust_estimation.cpp.o.d"
+  "robust_estimation"
+  "robust_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/edf_scheduler.cc" "src/CMakeFiles/rush_baselines.dir/baselines/edf_scheduler.cc.o" "gcc" "src/CMakeFiles/rush_baselines.dir/baselines/edf_scheduler.cc.o.d"
+  "/root/repo/src/baselines/fair_scheduler.cc" "src/CMakeFiles/rush_baselines.dir/baselines/fair_scheduler.cc.o" "gcc" "src/CMakeFiles/rush_baselines.dir/baselines/fair_scheduler.cc.o.d"
+  "/root/repo/src/baselines/fifo_scheduler.cc" "src/CMakeFiles/rush_baselines.dir/baselines/fifo_scheduler.cc.o" "gcc" "src/CMakeFiles/rush_baselines.dir/baselines/fifo_scheduler.cc.o.d"
+  "/root/repo/src/baselines/rrh_scheduler.cc" "src/CMakeFiles/rush_baselines.dir/baselines/rrh_scheduler.cc.o" "gcc" "src/CMakeFiles/rush_baselines.dir/baselines/rrh_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rush_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

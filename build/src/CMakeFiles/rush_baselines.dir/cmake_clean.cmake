@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_baselines.dir/baselines/edf_scheduler.cc.o"
+  "CMakeFiles/rush_baselines.dir/baselines/edf_scheduler.cc.o.d"
+  "CMakeFiles/rush_baselines.dir/baselines/fair_scheduler.cc.o"
+  "CMakeFiles/rush_baselines.dir/baselines/fair_scheduler.cc.o.d"
+  "CMakeFiles/rush_baselines.dir/baselines/fifo_scheduler.cc.o"
+  "CMakeFiles/rush_baselines.dir/baselines/fifo_scheduler.cc.o.d"
+  "CMakeFiles/rush_baselines.dir/baselines/rrh_scheduler.cc.o"
+  "CMakeFiles/rush_baselines.dir/baselines/rrh_scheduler.cc.o.d"
+  "librush_baselines.a"
+  "librush_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

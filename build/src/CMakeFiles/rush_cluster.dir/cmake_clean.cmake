@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_cluster.dir/cluster/cluster.cc.o"
+  "CMakeFiles/rush_cluster.dir/cluster/cluster.cc.o.d"
+  "CMakeFiles/rush_cluster.dir/cluster/job.cc.o"
+  "CMakeFiles/rush_cluster.dir/cluster/job.cc.o.d"
+  "CMakeFiles/rush_cluster.dir/cluster/node.cc.o"
+  "CMakeFiles/rush_cluster.dir/cluster/node.cc.o.d"
+  "librush_cluster.a"
+  "librush_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librush_cluster.a"
+)

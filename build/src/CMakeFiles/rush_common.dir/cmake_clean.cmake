@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_common.dir/common/logging.cc.o"
+  "CMakeFiles/rush_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/rush_common.dir/common/rng.cc.o"
+  "CMakeFiles/rush_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/rush_common.dir/common/types.cc.o"
+  "CMakeFiles/rush_common.dir/common/types.cc.o.d"
+  "librush_common.a"
+  "librush_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

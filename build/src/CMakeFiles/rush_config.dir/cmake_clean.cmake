@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_config.dir/config/job_config.cc.o"
+  "CMakeFiles/rush_config.dir/config/job_config.cc.o.d"
+  "CMakeFiles/rush_config.dir/config/xml.cc.o"
+  "CMakeFiles/rush_config.dir/config/xml.cc.o.d"
+  "librush_config.a"
+  "librush_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

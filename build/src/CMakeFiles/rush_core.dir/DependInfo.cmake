@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cc" "src/CMakeFiles/rush_core.dir/core/admission.cc.o" "gcc" "src/CMakeFiles/rush_core.dir/core/admission.cc.o.d"
+  "/root/repo/src/core/rush_config.cc" "src/CMakeFiles/rush_core.dir/core/rush_config.cc.o" "gcc" "src/CMakeFiles/rush_core.dir/core/rush_config.cc.o.d"
+  "/root/repo/src/core/rush_planner.cc" "src/CMakeFiles/rush_core.dir/core/rush_planner.cc.o" "gcc" "src/CMakeFiles/rush_core.dir/core/rush_planner.cc.o.d"
+  "/root/repo/src/core/rush_scheduler.cc" "src/CMakeFiles/rush_core.dir/core/rush_scheduler.cc.o" "gcc" "src/CMakeFiles/rush_core.dir/core/rush_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rush_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_robust.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_tas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_core.dir/core/admission.cc.o"
+  "CMakeFiles/rush_core.dir/core/admission.cc.o.d"
+  "CMakeFiles/rush_core.dir/core/rush_config.cc.o"
+  "CMakeFiles/rush_core.dir/core/rush_config.cc.o.d"
+  "CMakeFiles/rush_core.dir/core/rush_planner.cc.o"
+  "CMakeFiles/rush_core.dir/core/rush_planner.cc.o.d"
+  "CMakeFiles/rush_core.dir/core/rush_scheduler.cc.o"
+  "CMakeFiles/rush_core.dir/core/rush_scheduler.cc.o.d"
+  "librush_core.a"
+  "librush_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_estimator.dir/estimator/distribution_estimator.cc.o"
+  "CMakeFiles/rush_estimator.dir/estimator/distribution_estimator.cc.o.d"
+  "CMakeFiles/rush_estimator.dir/estimator/phase_estimator.cc.o"
+  "CMakeFiles/rush_estimator.dir/estimator/phase_estimator.cc.o.d"
+  "librush_estimator.a"
+  "librush_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

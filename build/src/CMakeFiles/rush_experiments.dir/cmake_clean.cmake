@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_experiments.dir/experiments/experiment.cc.o"
+  "CMakeFiles/rush_experiments.dir/experiments/experiment.cc.o.d"
+  "librush_experiments.a"
+  "librush_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_lp.dir/lp/simplex.cc.o"
+  "CMakeFiles/rush_lp.dir/lp/simplex.cc.o.d"
+  "CMakeFiles/rush_lp.dir/lp/tas_lp.cc.o"
+  "CMakeFiles/rush_lp.dir/lp/tas_lp.cc.o.d"
+  "librush_lp.a"
+  "librush_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

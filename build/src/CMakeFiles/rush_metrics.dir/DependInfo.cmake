@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/csv.cc" "src/CMakeFiles/rush_metrics.dir/metrics/csv.cc.o" "gcc" "src/CMakeFiles/rush_metrics.dir/metrics/csv.cc.o.d"
+  "/root/repo/src/metrics/gantt.cc" "src/CMakeFiles/rush_metrics.dir/metrics/gantt.cc.o" "gcc" "src/CMakeFiles/rush_metrics.dir/metrics/gantt.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/rush_metrics.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/rush_metrics.dir/metrics/report.cc.o.d"
+  "/root/repo/src/metrics/text_table.cc" "src/CMakeFiles/rush_metrics.dir/metrics/text_table.cc.o" "gcc" "src/CMakeFiles/rush_metrics.dir/metrics/text_table.cc.o.d"
+  "/root/repo/src/metrics/trace.cc" "src/CMakeFiles/rush_metrics.dir/metrics/trace.cc.o" "gcc" "src/CMakeFiles/rush_metrics.dir/metrics/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rush_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

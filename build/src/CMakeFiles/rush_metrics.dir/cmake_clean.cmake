@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_metrics.dir/metrics/csv.cc.o"
+  "CMakeFiles/rush_metrics.dir/metrics/csv.cc.o.d"
+  "CMakeFiles/rush_metrics.dir/metrics/gantt.cc.o"
+  "CMakeFiles/rush_metrics.dir/metrics/gantt.cc.o.d"
+  "CMakeFiles/rush_metrics.dir/metrics/report.cc.o"
+  "CMakeFiles/rush_metrics.dir/metrics/report.cc.o.d"
+  "CMakeFiles/rush_metrics.dir/metrics/text_table.cc.o"
+  "CMakeFiles/rush_metrics.dir/metrics/text_table.cc.o.d"
+  "CMakeFiles/rush_metrics.dir/metrics/trace.cc.o"
+  "CMakeFiles/rush_metrics.dir/metrics/trace.cc.o.d"
+  "librush_metrics.a"
+  "librush_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

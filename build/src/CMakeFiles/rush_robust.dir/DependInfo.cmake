@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robust/rem.cc" "src/CMakeFiles/rush_robust.dir/robust/rem.cc.o" "gcc" "src/CMakeFiles/rush_robust.dir/robust/rem.cc.o.d"
+  "/root/repo/src/robust/wcde.cc" "src/CMakeFiles/rush_robust.dir/robust/wcde.cc.o" "gcc" "src/CMakeFiles/rush_robust.dir/robust/wcde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rush_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_robust.dir/robust/rem.cc.o"
+  "CMakeFiles/rush_robust.dir/robust/rem.cc.o.d"
+  "CMakeFiles/rush_robust.dir/robust/wcde.cc.o"
+  "CMakeFiles/rush_robust.dir/robust/wcde.cc.o.d"
+  "librush_robust.a"
+  "librush_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

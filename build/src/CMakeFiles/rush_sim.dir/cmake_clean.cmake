@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/rush_sim.dir/sim/simulator.cc.o.d"
+  "librush_sim.a"
+  "librush_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

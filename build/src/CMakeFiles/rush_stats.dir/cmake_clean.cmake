@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_stats.dir/stats/pmf.cc.o"
+  "CMakeFiles/rush_stats.dir/stats/pmf.cc.o.d"
+  "CMakeFiles/rush_stats.dir/stats/summary.cc.o"
+  "CMakeFiles/rush_stats.dir/stats/summary.cc.o.d"
+  "librush_stats.a"
+  "librush_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_tas.dir/tas/onion_peeling.cc.o"
+  "CMakeFiles/rush_tas.dir/tas/onion_peeling.cc.o.d"
+  "CMakeFiles/rush_tas.dir/tas/slot_mapping.cc.o"
+  "CMakeFiles/rush_tas.dir/tas/slot_mapping.cc.o.d"
+  "librush_tas.a"
+  "librush_tas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_tas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_utility.dir/utility/utility_function.cc.o"
+  "CMakeFiles/rush_utility.dir/utility/utility_function.cc.o.d"
+  "librush_utility.a"
+  "librush_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/rush_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/rush_workload.dir/workload/job_template.cc.o"
+  "CMakeFiles/rush_workload.dir/workload/job_template.cc.o.d"
+  "CMakeFiles/rush_workload.dir/workload/workload_io.cc.o"
+  "CMakeFiles/rush_workload.dir/workload/workload_io.cc.o.d"
+  "librush_workload.a"
+  "librush_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_config_test.dir/job_config_test.cc.o"
+  "CMakeFiles/job_config_test.dir/job_config_test.cc.o.d"
+  "job_config_test"
+  "job_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

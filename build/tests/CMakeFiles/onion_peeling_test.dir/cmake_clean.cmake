@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onion_peeling_test.dir/onion_peeling_test.cc.o"
+  "CMakeFiles/onion_peeling_test.dir/onion_peeling_test.cc.o.d"
+  "onion_peeling_test"
+  "onion_peeling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onion_peeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_estimator_test.dir/phase_estimator_test.cc.o"
+  "CMakeFiles/phase_estimator_test.dir/phase_estimator_test.cc.o.d"
+  "phase_estimator_test"
+  "phase_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmf_test.dir/pmf_test.cc.o"
+  "CMakeFiles/pmf_test.dir/pmf_test.cc.o.d"
+  "pmf_test"
+  "pmf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_test.dir/rem_test.cc.o"
+  "CMakeFiles/rem_test.dir/rem_test.cc.o.d"
+  "rem_test"
+  "rem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rush_scheduler_test.cc" "tests/CMakeFiles/rush_scheduler_test.dir/rush_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/rush_scheduler_test.dir/rush_scheduler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rush_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_robust.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_tas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rush_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_scheduler_test.dir/rush_scheduler_test.cc.o"
+  "CMakeFiles/rush_scheduler_test.dir/rush_scheduler_test.cc.o.d"
+  "rush_scheduler_test"
+  "rush_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slot_mapping_test.dir/slot_mapping_test.cc.o"
+  "CMakeFiles/slot_mapping_test.dir/slot_mapping_test.cc.o.d"
+  "slot_mapping_test"
+  "slot_mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slot_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_lp_test.dir/tas_lp_test.cc.o"
+  "CMakeFiles/tas_lp_test.dir/tas_lp_test.cc.o.d"
+  "tas_lp_test"
+  "tas_lp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcde_test.dir/wcde_test.cc.o"
+  "CMakeFiles/wcde_test.dir/wcde_test.cc.o.d"
+  "wcde_test"
+  "wcde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
