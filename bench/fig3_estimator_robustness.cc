@@ -58,7 +58,8 @@ void run_fig3() {
   std::vector<std::string> headers = {"samples"};
   for (double d : deltas) headers.push_back("delta=" + TextTable::num(d, 1));
   TextTable table(headers);
-  CsvWriter csv("fig3_estimator_robustness.csv", headers);
+  const std::string csv_path = output_path("fig3_estimator_robustness.csv");
+  CsvWriter csv(csv_path, headers);
 
   Rng rng(20160627);
   for (std::size_t samples : sample_counts) {
@@ -72,7 +73,7 @@ void run_fig3() {
   }
   table.print(std::cout);
   std::cout << "\n(*) meets the theta = 0.9 requirement.  Series also written to "
-               "fig3_estimator_robustness.csv\n";
+            << csv_path << "\n";
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "src/cluster/cluster.h"
 #include "src/core/rush_scheduler.h"
+#include "src/metrics/csv.h"
 #include "src/metrics/gantt.h"
 #include "src/metrics/text_table.h"
 #include "src/metrics/trace.h"
@@ -18,7 +19,7 @@
 using namespace rush;
 
 int main(int argc, char** argv) {
-  const std::string path = argc > 1 ? argv[1] : "rush_trace.csv";
+  const std::string path = argc > 1 ? argv[1] : output_path("rush_trace.csv");
 
   RushScheduler scheduler;
   ClusterConfig cluster_config;

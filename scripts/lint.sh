@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Repo-convention linter + clang-tidy driver.
+#
+# Usage: scripts/lint.sh [--no-tidy] [build-dir]
+#
+# Custom rules (always run, pure grep — no toolchain needed):
+#   R1  headers must use #pragma once
+#   R2  no `using namespace` in headers (examples/ may, they are programs)
+#   R3  every require()/ensure()/RUSH_DCHECK() call carries a message string
+#   R4  no bare `throw std::...` outside src/common/error.h — use
+#       require()/ensure() or the rush exception types
+#
+# clang-tidy (profile in .clang-tidy) runs over src/ when the binary and a
+# compile_commands.json are available; pass --no-tidy to skip explicitly.
+set -u
+
+cd "$(dirname "$0")/.."
+
+RUN_TIDY=1
+BUILD_DIR=build
+for arg in "$@"; do
+  case "$arg" in
+    --no-tidy) RUN_TIDY=0 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+failures=0
+fail() {
+  echo "lint: $1" >&2
+  failures=$((failures + 1))
+}
+
+headers=$(find src -name '*.h' | sort)
+sources=$(find src -name '*.h' -o -name '*.cc' | sort)
+
+# R1: every header declares #pragma once.
+for h in $headers; do
+  grep -q '^#pragma once$' "$h" || fail "R1 $h: missing '#pragma once'"
+done
+
+# R2: no `using namespace` at any scope in headers.
+for h in $headers; do
+  if grep -n 'using namespace' "$h" /dev/null; then
+    fail "R2 $h: 'using namespace' in a header"
+  fi
+done
+
+# R3: require()/ensure()/RUSH_DCHECK() calls must carry a message.  Matches
+# each call statement (up to the terminating semicolon, across lines) and
+# demands a string literal inside it.  Declarations/definitions in
+# src/common/error.h are exempt.
+for f in $sources; do
+  [ "$f" = "src/common/error.h" ] && continue
+  matches=$(grep -Pzo '(?s)\b(require|ensure|RUSH_DCHECK)\s*\([^;]*?\)\s*;' "$f" | tr -d '\0')
+  [ -n "$matches" ] || continue
+  while IFS= read -r stmt; do
+    [ -n "$stmt" ] || continue
+    case "$stmt" in
+      *'"'*) ;;
+      *) fail "R3 $f: check without message: $stmt" ;;
+    esac
+  done <<EOF
+$(printf '%s' "$matches" | tr '\n' ' ' | sed 's/;/;\n/g')
+EOF
+done
+
+# R4: no bare standard-library throws outside the error header.
+for f in $sources; do
+  [ "$f" = "src/common/error.h" ] && continue
+  if grep -n 'throw std::' "$f" /dev/null; then
+    fail "R4 $f: bare 'throw std::...' — use require()/ensure() or rush exceptions"
+  fi
+done
+
+# clang-tidy over src/ (the curated .clang-tidy profile).
+if [ "$RUN_TIDY" -eq 1 ]; then
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "lint: clang-tidy not found; skipping (use --no-tidy to silence)" >&2
+  elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "lint: no $BUILD_DIR/compile_commands.json; configure with" >&2
+    echo "      cmake -B $BUILD_DIR -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    failures=$((failures + 1))
+  else
+    # shellcheck disable=SC2086
+    if ! clang-tidy -p "$BUILD_DIR" --quiet $(find src -name '*.cc' | sort); then
+      fail "clang-tidy reported findings"
+    fi
+  fi
+fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "lint: FAILED ($failures problem(s))" >&2
+  exit 1
+fi
+echo "lint: OK"

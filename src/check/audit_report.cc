@@ -1,0 +1,43 @@
+#include "src/check/audit_report.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/common/error.h"
+
+namespace rush {
+
+AuditReport::AuditReport(std::string subject) : subject_(std::move(subject)) {}
+
+void AuditReport::check(bool passed, const std::string& name,
+                        const std::string& detail) {
+  ++checks_;
+  if (!passed) violations_.push_back({name, detail});
+}
+
+void AuditReport::merge(const AuditReport& other) {
+  checks_ += other.checks_;
+  for (const AuditViolation& v : other.violations_) {
+    violations_.push_back({other.subject_ + "/" + v.check, v.detail});
+  }
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream out;
+  if (ok()) {
+    out << subject_ << ": ok (" << checks_ << " checks)";
+    return out.str();
+  }
+  out << subject_ << ": " << violations_.size() << " violation(s) in " << checks_
+      << " checks";
+  for (const AuditViolation& v : violations_) {
+    out << "\n  [" << v.check << "] " << v.detail;
+  }
+  return out.str();
+}
+
+void AuditReport::throw_if_failed() const {
+  ensure(ok(), "invariant audit failed: " + summary());
+}
+
+}  // namespace rush

@@ -1,0 +1,58 @@
+// Structured result of an invariant audit.
+//
+// An AuditReport accumulates the outcome of every invariant the auditor
+// evaluated: the number of checks performed and a violation record for each
+// one that failed.  Callers either inspect the report (tests, offline
+// verification of experiment outputs) or call throw_if_failed() to convert
+// any violation into an InternalError (debug builds, RUSH_DCHECK paths).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rush {
+
+/// One failed invariant: the check's stable name plus a human-readable
+/// description of the offending values.
+struct AuditViolation {
+  std::string check;
+  std::string detail;
+};
+
+class AuditReport {
+ public:
+  /// `subject` names what was audited ("MappingResult", "QuantizedPmf", ...)
+  /// and prefixes every summary line.
+  explicit AuditReport(std::string subject);
+
+  const std::string& subject() const { return subject_; }
+
+  /// Records one evaluated invariant.  When `passed` is false a violation
+  /// with the given name and detail is appended.
+  void check(bool passed, const std::string& name, const std::string& detail);
+
+  /// Folds another report's checks and violations into this one.  The other
+  /// report's subject is prefixed onto its violation names.
+  void merge(const AuditReport& other);
+
+  bool ok() const { return violations_.empty(); }
+  std::size_t checks_performed() const { return checks_; }
+  const std::vector<AuditViolation>& violations() const { return violations_; }
+
+  /// One line per violation (or a single "ok" line), prefixed with the
+  /// subject.
+  std::string summary() const;
+
+  /// Throws InternalError carrying summary() when any violation was
+  /// recorded; no-op on a clean report.
+  void throw_if_failed() const;
+
+ private:
+  std::string subject_;
+  std::size_t checks_ = 0;
+  std::vector<AuditViolation> violations_;
+};
+
+}  // namespace rush

@@ -1,0 +1,84 @@
+// Invariant auditor — machine checks for the paper's correctness claims.
+//
+// Each audit_* function walks one artefact of the RUSH pipeline and verifies
+// the invariants the paper (and DESIGN.md) promise about it:
+//
+//   audit_pmf        PMF hygiene: non-negative finite mass, unit total.
+//   audit_wcde       the WCDE answer is robust (no distribution within the
+//                    delta KL ball beats it), minimal (one bin less would not
+//                    be robust), and witnessed by an in-ball REM distribution.
+//   audit_tas        onion-peeling output: one target per job, monotone
+//                    layers/utility levels, and the preemptive-EDF capacity
+//                    condition of Theorem 2 over the peeled deadlines.
+//   audit_mapping    slot-mapper output: segments on one queue are gap-free
+//                    and never overlap, container-seconds are conserved
+//                    between the demand fed in and the tasks packed out, and
+//                    Theorem 3 holds (completion <= deadline + task_runtime).
+//   audit_simulator  event-queue sanity: no event scheduled in the past.
+//
+// All functions return an AuditReport; none throw on violation (call
+// AuditReport::throw_if_failed() for that).  They are pure observers — safe
+// to call from tests, offline tools and RUSH_DCHECK-gated hot paths alike.
+
+#pragma once
+
+#include <vector>
+
+#include "src/check/audit_report.h"
+#include "src/common/types.h"
+#include "src/robust/wcde.h"
+#include "src/sim/simulator.h"
+#include "src/stats/pmf.h"
+#include "src/tas/onion_peeling.h"
+#include "src/tas/slot_mapping.h"
+
+namespace rush {
+
+/// Tolerances used by the audits.  The defaults match the epsilons of the
+/// algorithms being audited (slot mapper granule rounding, peeler EDF slack).
+struct AuditOptions {
+  /// Absolute tolerance on probability-mass totals.
+  double mass_tolerance = 1e-6;
+  /// Absolute tolerance on times (seconds) and container-seconds.
+  double time_tolerance = 1e-6;
+  /// Tolerance on KL-divergence comparisons.
+  double kl_tolerance = 1e-9;
+};
+
+/// Checks that `pmf` is a valid probability distribution: positive bin
+/// width, all masses finite and non-negative, total mass 1 within tolerance.
+AuditReport audit_pmf(const QuantizedPmf& pmf, const AuditOptions& options = {});
+
+/// Checks a WCDE answer against its inputs: eta covers the reference
+/// quantile, no distribution within the delta-ball places less than theta
+/// mass on [0, eta] (robustness), the next smaller bin would not be robust
+/// (minimality), and the REM worst-case witness for the last adversarial bin
+/// lies inside the KL ball.
+AuditReport audit_wcde(const QuantizedPmf& phi, double theta, double delta,
+                       const WcdeResult& result, const AuditOptions& options = {});
+
+/// Checks an onion-peeling result against the jobs it was computed from:
+/// exactly one target per job, monotone layer numbers and utility levels in
+/// peel order, deadlines at/after `now`, and Theorem 2's EDF feasibility of
+/// the chosen mapping deadlines on `capacity` containers.
+AuditReport audit_tas(const TasResult& result, const std::vector<TasJob>& jobs,
+                      ContainerCount capacity, Seconds now,
+                      const AuditOptions& options = {});
+
+/// Checks a slot-mapping result against the jobs it was computed from:
+/// per-queue occupation is gap-free and non-overlapping starting at `now`,
+/// queue_occupation matches the packed segments, per-job completion times
+/// match segment ends, every job's demand is served in whole task granules
+/// (container-second conservation), and the Theorem 3 bound
+/// `completion <= deadline + task_runtime` holds whenever the mapper reports
+/// within_bound.
+AuditReport audit_mapping(const MappingResult& result,
+                          const std::vector<MappingJob>& jobs,
+                          ContainerCount capacity, Seconds now,
+                          const AuditOptions& options = {});
+
+/// Checks the simulator's event queue: the next pending event (if any) is
+/// not in the past.
+AuditReport audit_simulator(const Simulator& sim, const AuditOptions& options = {});
+
+}  // namespace rush

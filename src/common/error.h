@@ -35,4 +35,27 @@ inline void ensure(bool condition, const std::string& message) {
   if (!condition) throw InternalError(message);
 }
 
+/// True when RUSH_DCHECK checks are compiled in (-DRUSH_DCHECK=ON, default in
+/// Debug builds).  Use with `if constexpr` to gate more expensive debug-only
+/// verification (e.g. full invariant audits) while keeping the guarded code
+/// compiling in every configuration.
+#if defined(RUSH_ENABLE_DCHECK)
+inline constexpr bool kDcheckEnabled = true;
+#else
+inline constexpr bool kDcheckEnabled = false;
+#endif
+
 }  // namespace rush
+
+/// Debug-only invariant check: like ensure(), but compiled out (condition not
+/// evaluated) unless the build enables RUSH_DCHECK.  Use it on hot paths where
+/// an unconditional check would cost measurable time.  The condition must be
+/// side-effect free.
+#if defined(RUSH_ENABLE_DCHECK)
+#define RUSH_DCHECK(condition, message) ::rush::ensure((condition), (message))
+#else
+#define RUSH_DCHECK(condition, message)            \
+  do {                                             \
+    if (false) static_cast<void>(condition);       \
+  } while (false)
+#endif

@@ -1,7 +1,8 @@
 #include "src/common/rng.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "src/common/error.h"
 
 namespace rush {
 namespace {
@@ -43,7 +44,7 @@ double Rng::uniform() {
 double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+  require(lo <= hi, "uniform_int: lo > hi");
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t limit = ~0ULL - (~0ULL % span + 1) % span;
@@ -82,7 +83,7 @@ double Rng::normal_at_least(double mean, double stddev, double lo) {
 }
 
 double Rng::exponential(double mean) {
-  if (mean <= 0.0) throw std::invalid_argument("exponential: mean must be positive");
+  require(mean > 0.0, "exponential: mean must be positive");
   double u;
   do {
     u = uniform();
@@ -97,10 +98,10 @@ Rng Rng::split() { return Rng(next()); }
 std::size_t Rng::pick_weighted(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) {
-    if (w < 0.0) throw std::invalid_argument("pick_weighted: negative weight");
+    require(w >= 0.0, "pick_weighted: negative weight");
     total += w;
   }
-  if (total <= 0.0) throw std::invalid_argument("pick_weighted: all weights zero");
+  require(total > 0.0, "pick_weighted: all weights zero");
   double target = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     target -= weights[i];

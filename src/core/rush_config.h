@@ -49,6 +49,13 @@ struct RushConfig {
   /// Fallback runtime assumptions for jobs with too few samples.
   EstimatorPrior prior = {};
 
+  /// Runs the invariant auditor (src/check) on every planning pass — WCDE
+  /// robustness, onion-peeling EDF feasibility and slot-mapping queue
+  /// occupation — and throws InternalError on any violation.  Always on in
+  /// RUSH_DCHECK builds; this flag additionally enables it at runtime in
+  /// release builds (integration tests, canary deployments).
+  bool audit_invariants = false;
+
   /// Effective entropy threshold for a job with `samples` completed tasks.
   double delta_for(std::size_t samples) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/check/invariant_auditor.h"
 #include "src/common/error.h"
 #include "src/robust/wcde.h"
 
@@ -18,6 +19,8 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
 
   Plan result;
   result.computed_at = now;
+  // Debug builds audit unconditionally; release builds opt in per config.
+  const bool audit = kDcheckEnabled || config_.audit_invariants;
 
   // Step 1 — WCDE per job (decoupled across jobs, §III-A).
   std::vector<TasJob> tas_jobs;
@@ -27,6 +30,9 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
     require(job.utility != nullptr, "RushPlanner::plan: job without utility");
     const double delta = config_.delta_for(job.samples);
     const WcdeResult wcde = solve_wcde(job.demand, config_.theta, delta);
+    if (audit) {
+      audit_wcde(job.demand, config_.theta, delta, wcde).throw_if_failed();
+    }
 
     PlanEntry entry;
     entry.id = job.id;
@@ -48,6 +54,9 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
   peel_config.compensate_runtime = config_.compensate_runtime;
   const TasResult tas = onion_peel(tas_jobs, capacity, now, peel_config);
   result.peel_probes = tas.probes;
+  if (audit) {
+    audit_tas(tas, tas_jobs, capacity, now).throw_if_failed();
+  }
 
   // Step 3 — continuous time slot mapping.
   std::vector<MappingJob> mapping_jobs;
@@ -67,7 +76,14 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
     mj.task_runtime = runtime_of.at(target.id);
     mapping_jobs.push_back(mj);
   }
-  const MappingResult mapping = map_time_slots(std::move(mapping_jobs), capacity, now);
+  MappingResult mapping;
+  if (audit) {
+    // The audit needs the inputs after the call, so keep (and copy) them.
+    mapping = map_time_slots(mapping_jobs, capacity, now);
+    audit_mapping(mapping, mapping_jobs, capacity, now).throw_if_failed();
+  } else {
+    mapping = map_time_slots(std::move(mapping_jobs), capacity, now);
+  }
 
   // Step 4 — count queue heads: the first segment of each queue is the work
   // that should occupy that container next, so the per-job head count is the

@@ -92,6 +92,17 @@ void RushScheduler::rebuild_plan(const ClusterView& view) {
   plan_ = planner_.plan(jobs, view.capacity, view.now);
   ++plans_computed_;
   plan_dirty_ = false;
+  if constexpr (kDcheckEnabled) {
+    int desired_total = 0;
+    for (const PlanEntry& entry : plan_.entries) {
+      RUSH_DCHECK(entry.desired_containers >= 0,
+                  "RushScheduler: negative desired container count");
+      RUSH_DCHECK(entry.eta >= 0.0, "RushScheduler: negative robust demand");
+      desired_total += entry.desired_containers;
+    }
+    RUSH_DCHECK(desired_total <= view.capacity,
+                "RushScheduler: plan wants more containers than the cluster has");
+  }
 }
 
 std::optional<JobId> RushScheduler::assign_container(const ClusterView& view) {

@@ -1,8 +1,23 @@
 #include "src/metrics/csv.h"
 
+#include <cstdlib>
+#include <filesystem>
+
 #include "src/common/error.h"
 
 namespace rush {
+
+std::string output_path(const std::string& filename) {
+  require(!filename.empty(), "output_path: empty filename");
+  const std::filesystem::path name(filename);
+  if (name.is_absolute() || name.has_parent_path()) return filename;
+  const char* env = std::getenv("RUSH_OUT_DIR");
+  const std::filesystem::path dir = (env != nullptr && *env != '\0') ? env : "out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  require(!ec, "output_path: cannot create output directory '" + dir.string() + "'");
+  return (dir / name).string();
+}
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
     : out_(path), arity_(headers.size()) {

@@ -8,6 +8,13 @@
 
 namespace rush {
 
+/// Resolves `filename` inside the experiment output directory, creating the
+/// directory on first use.  The directory is `$RUSH_OUT_DIR` when set, `out/`
+/// (relative to the working directory) otherwise — an ignored path, so
+/// benches and examples never litter the repo root with CSVs.  Absolute
+/// filenames and filenames with a directory component are returned untouched.
+std::string output_path(const std::string& filename);
+
 class CsvWriter {
  public:
   /// Opens (truncates) `path` and writes the header row.

@@ -22,6 +22,7 @@ std::size_t Simulator::run(Seconds max_time) {
     Event event = queue_.top();
     if (event.at > max_time) break;
     queue_.pop();
+    RUSH_DCHECK(event.at >= now_, "Simulator::run: event queue went back in time");
     now_ = event.at;
     event.callback();
     ++executed;

@@ -121,5 +121,19 @@ TEST(Integration, UnknownSchedulerRejected) {
   EXPECT_THROW(make_named_scheduler("SJF"), InvalidInput);
 }
 
+TEST(Integration, EveryPlannerPassSurvivesTheInvariantAuditor) {
+  // audit_invariants runs the src/check auditor inside every planning pass:
+  // WCDE robustness/minimality, onion-peeling EDF feasibility, and gap-free,
+  // non-overlapping slot-mapper queues with the Theorem 3 completion bound.
+  // Any violation throws InternalError and fails the run.
+  for (std::uint64_t seed : {13, 14}) {
+    ExperimentConfig config = small_experiment(1.5, seed);
+    config.rush.audit_invariants = true;
+    const auto result = run_experiment("RUSH", config);
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.jobs.size(), 24u);
+  }
+}
+
 }  // namespace
 }  // namespace rush
