@@ -72,7 +72,7 @@ Fixture make_jobs(int count, std::uint64_t seed) {
     PlannerJob job;
     job.id = i;
     const double mean = rng.uniform(500.0, 5000.0);
-    job.demand = QuantizedPmf::gaussian(mean, 0.15 * mean, 256, mean / 128.0);
+    job.set_demand(QuantizedPmf::gaussian(mean, 0.15 * mean, 256, mean / 128.0));
     job.mean_runtime = rng.uniform(20.0, 60.0);
     job.samples = 40;
     job.utility = f.utilities.back().get();

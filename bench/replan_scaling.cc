@@ -1,0 +1,164 @@
+// Replan scaling — per-pass latency of the parallel replanning engine.
+//
+// Fig 5 shows the planning pass is the scalability bottleneck of the
+// feedback cycle; this bench measures what the PR buys: the per-job WCDE
+// fan-out across the thread pool and the WCDE memoization cache.  The
+// simulated pattern is the feedback cycle's common case — each pass, one
+// container event changes ONE job's demand PMF and the scheduler replans
+// everything.
+//
+// Sweep: job count x planner threads x cache on/off.  Every combination is
+// timed over the same event sequence, and the CSV reports the speedup of
+// each configuration against the serial cache-less reference
+// (planner_threads = 1, wcde_cache = off) at the same job count — so the
+// claimed speedups are measured, not asserted.
+//
+// Output: out/replan_scaling.csv (see metrics/csv.h for the directory
+// convention) plus a console table.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/rush_planner.h"
+#include "src/metrics/csv.h"
+#include "src/metrics/text_table.h"
+#include "src/utility/utility_function.h"
+
+namespace rush {
+namespace {
+
+constexpr ContainerCount kCapacity = 48;
+constexpr int kWarmupPasses = 2;
+constexpr int kMeasuredPasses = 12;
+
+struct Fixture {
+  std::vector<std::unique_ptr<UtilityFunction>> utilities;
+  std::vector<PlannerJob> jobs;
+};
+
+Fixture make_jobs(int count, std::uint64_t seed) {
+  Fixture f;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const double budget = rng.uniform(100.0, 2000.0);
+    f.utilities.push_back(std::make_unique<SigmoidUtility>(
+        budget, rng.uniform(1.0, 5.0), 8.8 / (0.3 * budget)));
+    PlannerJob job;
+    job.id = i;
+    const double mean = rng.uniform(500.0, 5000.0);
+    job.set_demand(QuantizedPmf::gaussian(mean, 0.15 * mean, 256, mean / 128.0));
+    job.mean_runtime = rng.uniform(20.0, 60.0);
+    job.samples = 40;
+    job.utility = f.utilities.back().get();
+    f.jobs.push_back(std::move(job));
+  }
+  return f;
+}
+
+/// One simulated container event: job `victim` reports a new sample, so its
+/// PMF shifts slightly and the pass must re-solve it (and only it, when the
+/// cache is on).
+void mutate_one_job(Fixture& fixture, std::size_t victim, Rng& rng) {
+  PlannerJob& job = fixture.jobs[victim];
+  const double mean = rng.uniform(500.0, 5000.0);
+  job.set_demand(QuantizedPmf::gaussian(mean, 0.15 * mean, 256, mean / 128.0));
+  job.samples += 1;
+}
+
+struct Measurement {
+  double mean_ms = 0.0;
+  double median_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  double hit_rate = 0.0;
+};
+
+Measurement measure(int job_count, int threads, bool cache) {
+  Fixture fixture = make_jobs(job_count, 91);
+  RushConfig config;
+  config.planner_threads = threads;
+  config.wcde_cache = cache;
+  config.wcde_cache_capacity = 2 * static_cast<std::size_t>(job_count) + 64;
+  RushPlanner planner(config);
+
+  // Identical event sequence for every configuration.
+  Rng events(2024);
+  std::vector<double> samples;
+  samples.reserve(kMeasuredPasses);
+  for (int pass = 0; pass < kWarmupPasses + kMeasuredPasses; ++pass) {
+    mutate_one_job(fixture, static_cast<std::size_t>(pass) %
+                                fixture.jobs.size(), events);
+    const auto start = std::chrono::steady_clock::now();
+    const Plan plan = planner.plan(fixture.jobs, kCapacity, 0.0);
+    const auto stop = std::chrono::steady_clock::now();
+    if (plan.entries.size() != fixture.jobs.size()) std::abort();
+    if (pass >= kWarmupPasses) {
+      samples.push_back(std::chrono::duration<double, std::milli>(stop - start).count());
+    }
+  }
+
+  Measurement m;
+  std::sort(samples.begin(), samples.end());
+  m.min_ms = samples.front();
+  m.max_ms = samples.back();
+  m.median_ms = samples[samples.size() / 2];
+  for (double s : samples) m.mean_ms += s;
+  m.mean_ms /= static_cast<double>(samples.size());
+  const WcdeCacheStats stats = planner.wcde_cache_stats();
+  if (stats.hits + stats.misses > 0) {
+    m.hit_rate = static_cast<double>(stats.hits) /
+                 static_cast<double>(stats.hits + stats.misses);
+  }
+  return m;
+}
+
+}  // namespace
+}  // namespace rush
+
+int main() {
+  using rush::Measurement;
+
+  const std::vector<int> job_counts = {100, 200, 500, 1000, 2000};
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  const std::string csv_path = rush::output_path("replan_scaling.csv");
+  rush::CsvWriter csv(csv_path,
+                      {"jobs", "threads", "cache", "passes", "mean_ms", "median_ms",
+                       "min_ms", "max_ms", "cache_hit_rate", "speedup_vs_reference"});
+
+  rush::TextTable table({"jobs", "threads", "cache", "median ms", "hit rate",
+                         "speedup vs serial"});
+  for (int jobs : job_counts) {
+    // Serial, cache-less reference: the exact pre-PR planning path.
+    const Measurement reference = rush::measure(jobs, 1, false);
+    for (bool cache : {false, true}) {
+      for (int threads : thread_counts) {
+        const Measurement m = (threads == 1 && !cache)
+                                  ? reference
+                                  : rush::measure(jobs, threads, cache);
+        const double speedup = reference.median_ms / m.median_ms;
+        csv.add_row({std::to_string(jobs), std::to_string(threads),
+                     cache ? "on" : "off", std::to_string(rush::kMeasuredPasses),
+                     rush::TextTable::num(m.mean_ms, 3),
+                     rush::TextTable::num(m.median_ms, 3),
+                     rush::TextTable::num(m.min_ms, 3),
+                     rush::TextTable::num(m.max_ms, 3),
+                     rush::TextTable::num(m.hit_rate, 3),
+                     rush::TextTable::num(speedup, 2)});
+        table.add_row({std::to_string(jobs), std::to_string(threads),
+                       cache ? "on" : "off", rush::TextTable::num(m.median_ms, 3),
+                       rush::TextTable::num(m.hit_rate, 3),
+                       rush::TextTable::num(speedup, 2) + "x"});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nwrote %s\n", csv_path.c_str());
+  return 0;
+}

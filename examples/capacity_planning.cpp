@@ -24,8 +24,8 @@ PlannerJob make_job(JobId id, double demand_cs, double uncertainty,
                     const UtilityFunction* utility, Seconds task_runtime = 15.0) {
   PlannerJob job;
   job.id = id;
-  job.demand = QuantizedPmf::gaussian(
-      demand_cs, uncertainty, 256, (demand_cs + 6 * uncertainty) * 1.25 / 256.0);
+  job.set_demand(QuantizedPmf::gaussian(
+      demand_cs, uncertainty, 256, (demand_cs + 6 * uncertainty) * 1.25 / 256.0));
   job.mean_runtime = task_runtime;
   job.samples = 40;
   job.utility = utility;

@@ -1,0 +1,176 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+constexpr std::uint64_t kBatchShift = 32;
+constexpr std::uint64_t kIndexMask = (std::uint64_t{1} << kBatchShift) - 1;
+
+/// Spin iterations before a worker parks (or the join sleeps).  At ~1-10 ns
+/// per relax this covers the tens of microseconds between the planner's
+/// probe rounds, so the pool almost never pays a futex round-trip mid-pass.
+constexpr int kSpinBeforePark = 1 << 14;
+
+std::uint32_t batch_of(std::uint64_t control) {
+  return static_cast<std::uint32_t>(control >> kBatchShift);
+}
+
+void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  require(threads >= 1, "ThreadPool: need at least one thread");
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  spin_budget_ = static_cast<unsigned>(threads) <= hw ? kSpinBeforePark : 0;
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::resolve_threads(int configured) {
+  if (configured >= 1) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+void ThreadPool::drain_batch(std::uint32_t batch) {
+  // body_/end_ were written before the release-store that published `batch`
+  // into control_, so the acquire-load that showed us `batch` makes them
+  // visible and mutually consistent.  (A stale re-read during the *next*
+  // publish is harmless: the CAS below then fails on the batch half and the
+  // value is never used.)
+  const std::function<void(std::size_t)>* body = body_.load(std::memory_order_relaxed);
+  const std::size_t end = end_.load(std::memory_order_relaxed);
+  std::uint64_t control = control_.load(std::memory_order_acquire);
+  for (;;) {
+    if (batch_of(control) != batch) return;  // superseded: not our iterations
+    const std::size_t i = static_cast<std::size_t>(control & kIndexMask);
+    if (i >= end) return;  // drained
+    if (!control_.compare_exchange_weak(control, control + 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_acquire)) {
+      continue;  // lost the claim race; `control` was reloaded by the CAS
+    }
+    try {
+      (*body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error_ == nullptr || i < error_index_) {
+        error_ = std::current_exception();
+        error_index_ = i;
+      }
+    }
+    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == end) {
+      // Last iteration: wake a caller that gave up spinning in the join.
+      // Taking mutex_ pairs with the join's predicate re-check, so the
+      // notification cannot slip between its check and its sleep.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+    control = control_.load(std::memory_order_acquire);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint32_t seen = 0;
+  for (;;) {
+    std::uint32_t batch = batch_of(control_.load(std::memory_order_acquire));
+    if (batch == seen) {
+      // Spin briefly — new batches usually arrive within microseconds — then
+      // park on the condition variable to stop burning the core.
+      int spins = spin_budget_;
+      for (;;) {
+        if (stop_.load(std::memory_order_relaxed)) return;
+        batch = batch_of(control_.load(std::memory_order_acquire));
+        if (batch != seen) break;
+        if (--spins <= 0) {
+          std::unique_lock<std::mutex> lock(mutex_);
+          work_cv_.wait(lock, [&] {
+            batch = batch_of(control_.load(std::memory_order_acquire));
+            return stop_.load(std::memory_order_relaxed) || batch != seen;
+          });
+          if (stop_.load(std::memory_order_relaxed)) return;
+          break;
+        }
+        cpu_relax();
+      }
+    }
+    drain_batch(batch);
+    seen = batch;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+  if (workers_.empty() || n == 1) {
+    // Serial reference path: the caller runs every iteration in index order.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  require(n <= kIndexMask, "ThreadPool::parallel_for: too many iterations");
+
+  body_.store(&body, std::memory_order_relaxed);
+  end_.store(n, std::memory_order_relaxed);
+  done_.store(0, std::memory_order_relaxed);
+  const std::uint32_t batch =
+      batch_of(control_.load(std::memory_order_relaxed)) + 1;
+  {
+    // The batch id must change under mutex_: a worker's park predicate reads
+    // control_ under the same lock, so it either sees the new id or is still
+    // waiting when notify_all fires — it cannot sleep through the batch.
+    std::lock_guard<std::mutex> lock(mutex_);
+    control_.store(std::uint64_t{batch} << kBatchShift, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+
+  drain_batch(batch);
+
+  // Join: every iteration (not just every claim) must have finished before
+  // we return, so slot writes are visible and `body` can be destroyed.
+  int spins = spin_budget_;
+  while (done_.load(std::memory_order_acquire) < n) {
+    if (--spins <= 0) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] {
+        return done_.load(std::memory_order_acquire) >= n;
+      });
+      break;
+    }
+    cpu_relax();
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error_ != nullptr) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    error_index_ = 0;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace rush

@@ -1,0 +1,105 @@
+// A fixed-size worker pool for fanning independent loop iterations across
+// cores — the parallel substrate of the replanning engine (DESIGN.md §5c).
+//
+// Design constraints, in order:
+//   1. Determinism: parallel_for(n, body) returns only after every iteration
+//      in [0, n) has completed (a full join, with the usual happens-before
+//      guarantees), so callers that write iteration i's result into slot i of
+//      a pre-sized vector observe exactly the serial outcome, bit for bit.
+//   2. No dependencies beyond the standard <thread> family.
+//   3. Exceptions survive the fan-out: the exception thrown by the
+//      smallest-index failing iteration is rethrown on the calling thread
+//      (smallest index, not first-in-time, so failures are reproducible).
+//   4. Microsecond batches: the planner dispatches thousands of batches of a
+//      few ~25 us probes per pass, so batch publish/join must not touch a
+//      condition variable on the fast path.  Workers spin briefly on the
+//      batch word before parking, iterations are claimed by CAS on the same
+//      word, and the join spins on a completion counter before sleeping.
+//
+// Batch protocol: `control_` packs (batch id << 32 | next iteration).  A
+// publisher writes body/end/done, then release-stores a new batch id into
+// `control_`; workers acquire-load it, so observing the new id makes the
+// batch fields visible.  Claims CAS the low half up; a claim can only
+// succeed while the high half still names the batch the claimant saw, so a
+// worker that slept through a join can never steal an iteration from (or
+// call the body of) a batch it did not observe.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rush {
+
+class ThreadPool {
+ public:
+  /// Starts `threads - 1` workers; the calling thread is the remaining
+  /// participant of every parallel_for.  `threads` must be >= 1 (a pool of 1
+  /// runs everything inline on the caller).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes, including the calling thread.
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(i) for every i in [0, n) across the workers plus the calling
+  /// thread and joins: on return every iteration has finished and its
+  /// effects are visible to the caller.  Iterations must be independent
+  /// (no iteration may touch another's data).  If iterations throw, all
+  /// remaining iterations still run and the exception of the
+  /// smallest-index failure is rethrown here.  Calls are serialized: the
+  /// pool runs one batch at a time.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Maps a configured thread count to an effective one: values >= 1 are
+  /// taken as-is, 0 means one lane per hardware thread (at least 1).
+  static int resolve_threads(int configured);
+
+ private:
+  void worker_loop();
+  /// Claims and runs iterations of batch `batch` until none are left (or the
+  /// batch is superseded).  Every successful claim bumps done_ exactly once.
+  void drain_batch(std::uint32_t batch);
+
+  std::vector<std::thread> workers_;
+
+  /// Serializes parallel_for callers (one batch in flight at a time).
+  std::mutex batch_mutex_;
+
+  /// (batch id << 32) | next unclaimed iteration.  The batch id changes only
+  /// under mutex_ (so parked workers cannot miss it); the low half moves by
+  /// lock-free CAS claims.
+  std::atomic<std::uint64_t> control_{0};
+  /// Iterations of the current batch; valid once control_ shows its id.
+  std::atomic<const std::function<void(std::size_t)>*> body_{nullptr};
+  std::atomic<std::size_t> end_{0};
+  /// Completed iterations of the current batch; the join waits for == end_.
+  std::atomic<std::size_t> done_{0};
+  std::atomic<bool> stop_{false};
+
+  /// Spin iterations before parking (workers) or sleeping (the join).
+  /// Non-zero only when the host has a hardware thread per lane: spinning
+  /// while oversubscribed steals the core from the iteration bodies and
+  /// inverts the speedup.
+  int spin_budget_ = 0;
+
+  /// Guards parking/waking only — never taken on the claim/run fast path.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+
+  /// Smallest-index exception captured during the active batch (under mutex_).
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;
+};
+
+}  // namespace rush

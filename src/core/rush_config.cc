@@ -20,6 +20,8 @@ void RushConfig::validate() const {
   require(bins >= 2, "RushConfig: need at least 2 bins");
   require(peel_tolerance > 0.0, "RushConfig: peel tolerance must be positive");
   require(delta_min >= 0.0, "RushConfig: delta_min must be non-negative");
+  require(planner_threads >= 0, "RushConfig: planner_threads must be >= 0");
+  require(wcde_cache_capacity >= 1, "RushConfig: wcde_cache_capacity must be >= 1");
   require(prior.mean_runtime > 0.0, "RushConfig: prior mean must be positive");
 }
 

@@ -49,6 +49,24 @@ struct RushConfig {
   /// Fallback runtime assumptions for jobs with too few samples.
   EstimatorPrior prior = {};
 
+  /// Execution lanes for the per-job WCDE fan-out of a planning pass
+  /// (DESIGN.md §5c).  1 = the serial reference path (no pool is created);
+  /// 0 = one lane per hardware thread; >= 2 = a fixed-size pool of that many
+  /// lanes.  The resulting Plan is bit-for-bit identical for every value —
+  /// results are merged back in job order — so this is purely a latency
+  /// knob.
+  int planner_threads = 1;
+
+  /// Memoizes WCDE solves keyed on (PMF fingerprint, theta, delta) so jobs
+  /// whose demand did not change between consecutive passes — the common
+  /// case, since a container event touches one job — skip the bisection
+  /// entirely.  Hits are verified bit-exact before being trusted, so the
+  /// plan is identical with the cache on or off.
+  bool wcde_cache = true;
+
+  /// Cache entries kept before least-recently-used eviction.
+  std::size_t wcde_cache_capacity = 4096;
+
   /// Runs the invariant auditor (src/check) on every planning pass — WCDE
   /// robustness, onion-peeling EDF feasibility and slot-mapping queue
   /// occupation — and throws InternalError on any violation.  Always on in

@@ -9,8 +9,15 @@
 
 namespace rush {
 
-RushPlanner::RushPlanner(RushConfig config) : config_(std::move(config)) {
+RushPlanner::RushPlanner(RushConfig config)
+    : config_(std::move(config)), wcde_cache_(config_.wcde_cache_capacity) {
   config_.validate();
+  const int lanes = ThreadPool::resolve_threads(config_.planner_threads);
+  if (lanes > 1) pool_ = std::make_unique<ThreadPool>(lanes);
+}
+
+int RushPlanner::planner_threads() const {
+  return pool_ != nullptr ? pool_->threads() : 1;
 }
 
 Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capacity,
@@ -22,36 +29,58 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
   // Debug builds audit unconditionally; release builds opt in per config.
   const bool audit = kDcheckEnabled || config_.audit_invariants;
 
-  // Step 1 — WCDE per job (decoupled across jobs, §III-A).
+  // Step 1 — WCDE per job.  The solves are decoupled across jobs (§III-A),
+  // so they fan out across the pool; each iteration writes only its own
+  // index slot, and the merge below walks the slots in job order, keeping
+  // the plan bit-for-bit identical to the serial path.
+  for (const PlannerJob& job : jobs) {
+    require(job.utility != nullptr, "RushPlanner::plan: job without utility");
+    require(job.demand != nullptr, "RushPlanner::plan: job without demand snapshot");
+  }
+  std::vector<WcdeResult> wcde_of(jobs.size());
+  const auto solve_one = [&](std::size_t i) {
+    const PlannerJob& job = jobs[i];
+    const double delta = config_.delta_for(job.samples);
+    wcde_of[i] = config_.wcde_cache
+                     ? wcde_cache_.solve(*job.demand, config_.theta, delta)
+                     : solve_wcde(*job.demand, config_.theta, delta);
+    if (audit) {
+      audit_wcde(*job.demand, config_.theta, delta, wcde_of[i]).throw_if_failed();
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(jobs.size(), solve_one);
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) solve_one(i);
+  }
+
   std::vector<TasJob> tas_jobs;
   std::unordered_map<JobId, std::size_t> entry_of;
   tas_jobs.reserve(jobs.size());
-  for (const PlannerJob& job : jobs) {
-    require(job.utility != nullptr, "RushPlanner::plan: job without utility");
-    const double delta = config_.delta_for(job.samples);
-    const WcdeResult wcde = solve_wcde(job.demand, config_.theta, delta);
-    if (audit) {
-      audit_wcde(job.demand, config_.theta, delta, wcde).throw_if_failed();
-    }
-
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const PlannerJob& job = jobs[i];
     PlanEntry entry;
     entry.id = job.id;
-    entry.eta = wcde.eta;
+    entry.eta = wcde_of[i].eta;
     entry_of[job.id] = result.entries.size();
     result.entries.push_back(entry);
 
     TasJob tj;
     tj.id = job.id;
-    tj.eta = wcde.eta;
+    tj.eta = wcde_of[i].eta;
     tj.avg_task_runtime = job.mean_runtime;
     tj.utility = job.utility;
     tas_jobs.push_back(tj);
   }
 
-  // Step 2 — onion peeling for target completion times.
+  // Step 2 — onion peeling for target completion times.  The peel's probe
+  // schedule is fixed (it never depends on the pool), so handing it the
+  // pool only shortens the wall clock of each k-section round; the targets
+  // stay bit-for-bit identical to the serial path.
   OnionPeelingConfig peel_config;
   peel_config.tolerance = config_.peel_tolerance;
   peel_config.compensate_runtime = config_.compensate_runtime;
+  peel_config.pool = pool_.get();
   const TasResult tas = onion_peel(tas_jobs, capacity, now, peel_config);
   result.peel_probes = tas.probes;
   if (audit) {

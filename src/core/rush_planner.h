@@ -10,10 +10,13 @@
 
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/common/types.h"
 #include "src/core/rush_config.h"
+#include "src/robust/wcde_cache.h"
 #include "src/stats/pmf.h"
 #include "src/tas/onion_peeling.h"
 #include "src/tas/slot_mapping.h"
@@ -24,14 +27,23 @@ namespace rush {
 /// One job as seen by the planner: estimator outputs plus utility.
 struct PlannerJob {
   JobId id = kInvalidJob;
-  /// Reference PMF phi of the remaining demand (container-seconds).
-  QuantizedPmf demand{1, 1.0};
+  /// Reference PMF phi of the remaining demand (container-seconds), held as
+  /// a shared immutable snapshot: passing a job through consecutive planning
+  /// passes (and through admission what-if copies) shares one allocation
+  /// instead of copying O(PMF support) per pass.  Must be non-null when the
+  /// job is handed to the planner.
+  std::shared_ptr<const QuantizedPmf> demand;
   /// Average container runtime R_i reported by the DE.
   Seconds mean_runtime = 1.0;
   /// Completed-task samples backing the PMF (drives adaptive delta).
   std::size_t samples = 0;
   /// Utility over absolute completion time (not owned).
   const UtilityFunction* utility = nullptr;
+
+  /// Wraps a freshly built PMF into the shared snapshot.
+  void set_demand(QuantizedPmf pmf) {
+    demand = std::make_shared<const QuantizedPmf>(std::move(pmf));
+  }
 };
 
 struct PlanEntry {
@@ -69,13 +81,31 @@ class RushPlanner {
 
   /// Runs one full planning pass at absolute time `now` on a cluster of
   /// `capacity` containers.
+  ///
+  /// The per-job WCDE solves (step 1) fan out across a fixed-size thread
+  /// pool when `config.planner_threads` resolves to more than one lane, and
+  /// consult the memoization cache when `config.wcde_cache` is set; results
+  /// are merged back in job order, so the Plan is bit-for-bit identical to
+  /// the serial, cache-less reference path in every configuration.
   Plan plan(const std::vector<PlannerJob>& jobs, ContainerCount capacity,
             Seconds now) const;
 
   const RushConfig& config() const { return config_; }
 
+  /// Effective WCDE fan-out lanes (planner_threads with 0 resolved).
+  int planner_threads() const;
+
+  /// Hit/miss/collision/eviction counters of the WCDE memoization cache
+  /// (all zero while config().wcde_cache is false).
+  WcdeCacheStats wcde_cache_stats() const { return wcde_cache_.stats(); }
+
  private:
   RushConfig config_;
+  /// Memoizes (PMF, theta, delta) -> WcdeResult across passes.  Mutable:
+  /// memoization is observable only through latency and stats.
+  mutable WcdeCache wcde_cache_;
+  /// Fan-out substrate; null when the config resolves to one lane.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace rush

@@ -62,30 +62,50 @@ void RushScheduler::on_task_failed(const ClusterView& /*view*/, JobId /*job*/,
 void RushScheduler::on_job_finished(const ClusterView& /*view*/, JobId job) {
   estimators_.erase(job);
   phase_estimators_.erase(job);
+  demand_snapshots_.erase(job);
   plan_dirty_ = true;
+}
+
+const RushScheduler::DemandSnapshot& RushScheduler::snapshot_for(const JobView& jv) {
+  const auto phase_it = config_.phase_aware_estimation ? phase_estimators_.find(jv.id)
+                                                       : phase_estimators_.end();
+  const bool phase_aware = phase_it != phase_estimators_.end();
+  const std::size_t samples = phase_aware
+                                  ? phase_it->second.sample_count()
+                                  : estimator_for(jv.id).sample_count();
+  DemandSnapshot& snapshot = demand_snapshots_[jv.id];
+  const bool fresh = snapshot.demand != nullptr && snapshot.samples == samples &&
+                     snapshot.remaining_maps == jv.remaining_maps &&
+                     snapshot.remaining_reduces == jv.remaining_reduces;
+  if (!fresh) {
+    if (phase_aware) {
+      const PhaseAwareEstimator& phase = phase_it->second;
+      snapshot.mean_runtime = phase.mean_runtime(jv.remaining_maps, jv.remaining_reduces);
+      snapshot.demand = std::make_shared<const QuantizedPmf>(
+          phase.remaining_demand(jv.remaining_maps, jv.remaining_reduces, config_.bins));
+    } else {
+      DistributionEstimator& estimator = estimator_for(jv.id);
+      snapshot.mean_runtime = estimator.mean_runtime();
+      snapshot.demand = std::make_shared<const QuantizedPmf>(
+          estimator.remaining_demand(jv.remaining_tasks(), config_.bins));
+    }
+    snapshot.samples = samples;
+    snapshot.remaining_maps = jv.remaining_maps;
+    snapshot.remaining_reduces = jv.remaining_reduces;
+  }
+  return snapshot;
 }
 
 void RushScheduler::rebuild_plan(const ClusterView& view) {
   std::vector<PlannerJob> jobs;
   jobs.reserve(view.jobs.size());
   for (const JobView& jv : view.jobs) {
+    const DemandSnapshot& snapshot = snapshot_for(jv);
     PlannerJob pj;
     pj.id = jv.id;
-    const auto phase_it = config_.phase_aware_estimation
-                              ? phase_estimators_.find(jv.id)
-                              : phase_estimators_.end();
-    if (phase_it != phase_estimators_.end()) {
-      const PhaseAwareEstimator& phase = phase_it->second;
-      pj.mean_runtime = phase.mean_runtime(jv.remaining_maps, jv.remaining_reduces);
-      pj.samples = phase.sample_count();
-      pj.demand =
-          phase.remaining_demand(jv.remaining_maps, jv.remaining_reduces, config_.bins);
-    } else {
-      DistributionEstimator& estimator = estimator_for(jv.id);
-      pj.mean_runtime = estimator.mean_runtime();
-      pj.samples = estimator.sample_count();
-      pj.demand = estimator.remaining_demand(jv.remaining_tasks(), config_.bins);
-    }
+    pj.mean_runtime = snapshot.mean_runtime;
+    pj.samples = snapshot.samples;
+    pj.demand = snapshot.demand;  // shared, not copied
     pj.utility = jv.utility;
     jobs.push_back(std::move(pj));
   }

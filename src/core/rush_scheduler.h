@@ -45,8 +45,24 @@ class RushScheduler final : public Scheduler {
   long plans_computed() const { return plans_computed_; }
 
  private:
+  /// Cached planner inputs of one job.  Rebuilding a demand PMF costs
+  /// O(PMF support) per job per pass; a container event leaves every other
+  /// job's estimator state untouched, so the snapshot is reused until the
+  /// keys below change.  Every estimator increments sample_count() on each
+  /// observation and is otherwise deterministic, so (samples, remaining
+  /// tasks per phase) pins the estimator output exactly.
+  struct DemandSnapshot {
+    std::shared_ptr<const QuantizedPmf> demand;
+    Seconds mean_runtime = 0.0;
+    std::size_t samples = 0;
+    int remaining_maps = -1;
+    int remaining_reduces = -1;
+  };
+
   DistributionEstimator& estimator_for(JobId job);
   void rebuild_plan(const ClusterView& view);
+  /// Returns the (possibly cached) planner snapshot for one job view.
+  const DemandSnapshot& snapshot_for(const JobView& jv);
   /// Cluster-wide runtime statistics used to prime a job's prior before it
   /// has samples of its own.
   EstimatorPrior effective_prior() const;
@@ -57,6 +73,7 @@ class RushScheduler final : public Scheduler {
   /// Per-phase moments, maintained alongside the pooled estimator when
   /// config_.phase_aware_estimation is set.
   std::unordered_map<JobId, PhaseAwareEstimator> phase_estimators_;
+  std::unordered_map<JobId, DemandSnapshot> demand_snapshots_;
   OnlineStats global_runtimes_;
   Plan plan_;
   bool plan_dirty_ = true;

@@ -70,6 +70,7 @@ RunResult run_experiment(const std::string& scheduler_name,
 
   const auto scheduler = make_named_scheduler(scheduler_name, config.rush);
   Cluster cluster(cluster_config, *scheduler);
+  cluster.set_observer(config.observer);
   std::uint64_t bench_seed = config.seed + 1000003;
   for (JobSpec& spec : generate_workload(workload)) {
     // Replace the generator's analytic budget with the measured solo

@@ -41,6 +41,11 @@ struct ExperimentConfig {
   std::vector<Node> nodes;
   /// RUSH tunables (only used when the scheduler is RUSH).
   RushConfig rush;
+  /// Optional trace observer attached to the experiment's cluster (not the
+  /// solo benchmark runs); not owned.  Lets callers capture the full event
+  /// trace of a run — e.g. the determinism regression tests that diff two
+  /// traces of the same seed.
+  ClusterObserver* observer = nullptr;
 };
 
 /// Builds a scheduler by display name: "RUSH", "EDF", "FIFO", "RRH", "Fair".

@@ -1,0 +1,113 @@
+#include "src/robust/wcde_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/error.h"
+
+namespace rush {
+
+namespace {
+
+inline void fnv1a_mix(std::uint64_t& hash, std::uint64_t value) {
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xFFULL;
+    hash *= kPrime;
+  }
+}
+
+inline void fnv1a_mix(std::uint64_t& hash, double value) {
+  fnv1a_mix(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+}  // namespace
+
+WcdeCache::WcdeCache(std::size_t capacity)
+    : shard_capacity_(std::max<std::size_t>(1, (capacity + kShards - 1) / kShards)),
+      fingerprint_fn_(&WcdeCache::fingerprint) {
+  require(capacity >= 1, "WcdeCache: capacity must be at least 1");
+}
+
+WcdeCache::Fingerprint WcdeCache::fingerprint(const QuantizedPmf& phi, double theta,
+                                              double delta) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV offset basis
+  fnv1a_mix(hash, static_cast<std::uint64_t>(phi.bins()));
+  fnv1a_mix(hash, phi.bin_width());
+  for (std::size_t l = 0; l < phi.bins(); ++l) fnv1a_mix(hash, phi.mass(l));
+  fnv1a_mix(hash, theta);
+  fnv1a_mix(hash, delta);
+  return hash;
+}
+
+void WcdeCache::set_fingerprint_fn_for_test(FingerprintFn fn) {
+  require(fn != nullptr, "WcdeCache: fingerprint function must not be null");
+  fingerprint_fn_ = fn;
+}
+
+WcdeResult WcdeCache::solve(const QuantizedPmf& phi, double theta, double delta) {
+  const Fingerprint fp = fingerprint_fn_(phi, theta, delta);
+  Shard& shard = shard_for(fp);
+  bool fingerprint_matched = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, end] = shard.entries.equal_range(fp);
+    for (; it != end; ++it) {
+      Entry& entry = it->second;
+      fingerprint_matched = true;
+      if (entry.theta == theta && entry.delta == delta && entry.phi == phi) {
+        entry.last_used = ++shard.clock;
+        ++shard.stats.hits;
+        return entry.result;
+      }
+    }
+    if (fingerprint_matched) ++shard.stats.collisions;
+  }
+
+  // Miss: solve outside the lock so concurrent misses do not serialize.
+  const WcdeResult result = solve_wcde(phi, theta, delta);
+
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.entries.size() >= shard_capacity_) {
+    auto victim = shard.entries.begin();
+    for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    shard.entries.erase(victim);
+    ++shard.stats.evictions;
+  }
+  shard.entries.emplace(fp, Entry{phi, theta, delta, result, ++shard.clock});
+  ++shard.stats.misses;
+  return result;
+}
+
+void WcdeCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.clock = 0;
+  }
+}
+
+std::size_t WcdeCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+WcdeCacheStats WcdeCache::stats() const {
+  WcdeCacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.collisions += shard.stats.collisions;
+    total.evictions += shard.stats.evictions;
+  }
+  return total;
+}
+
+}  // namespace rush

@@ -1,0 +1,96 @@
+// Memoization cache for WCDE solves (DESIGN.md §5c).
+//
+// The feedback cycle re-runs WCDE for *every* active job each time a
+// container frees (§IV), but a container event changes at most one job's
+// demand PMF — every other (phi, theta, delta) triple is identical to the
+// previous pass.  The cache keys solves on a 64-bit fingerprint of the
+// triple and returns the stored result on a hit, skipping the O(bins)
+// normalisation + prefix pass and the bisection entirely.
+//
+// Exactness: a fingerprint match alone is NOT trusted.  Each entry keeps a
+// copy of its PMF, and a hit requires bit-exact equality of (phi, theta,
+// delta); colliding-but-different inputs fall through to a fresh solve (and
+// are counted in stats().collisions).  Since solve_wcde is deterministic, a
+// hit is therefore bit-for-bit identical to recomputing — the property the
+// parallel planner's differential tests pin down.
+//
+// Thread safety: the planner fans per-job solves across a pool, so the
+// table is sharded by fingerprint with one mutex per shard; fresh solves run
+// outside any lock.  Eviction is least-recently-used per shard.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/robust/wcde.h"
+#include "src/stats/pmf.h"
+
+namespace rush {
+
+struct WcdeCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// Lookups whose fingerprint matched an entry that turned out to hold a
+  /// different (phi, theta, delta) — resolved by recomputing, never by
+  /// trusting the fingerprint.
+  std::uint64_t collisions = 0;
+  std::uint64_t evictions = 0;
+};
+
+class WcdeCache {
+ public:
+  using Fingerprint = std::uint64_t;
+  using FingerprintFn = Fingerprint (*)(const QuantizedPmf&, double, double);
+
+  /// @param capacity total entries kept across all shards before LRU
+  ///        eviction kicks in; must be >= 1.
+  explicit WcdeCache(std::size_t capacity = 4096);
+
+  /// solve_wcde with memoization: returns the cached result when an entry
+  /// with bit-exact equal inputs exists, otherwise computes, stores and
+  /// returns a fresh solve.  Safe to call concurrently.
+  WcdeResult solve(const QuantizedPmf& phi, double theta, double delta);
+
+  /// FNV-1a over the binning, masses, theta and delta bit patterns.
+  static Fingerprint fingerprint(const QuantizedPmf& phi, double theta, double delta);
+
+  void clear();
+  std::size_t size() const;
+  WcdeCacheStats stats() const;
+
+  /// Test seam: replaces the fingerprint function (e.g. with a constant) so
+  /// tests can force distinct inputs onto one fingerprint and verify the
+  /// collision path.  Not for production use.
+  void set_fingerprint_fn_for_test(FingerprintFn fn);
+
+ private:
+  struct Entry {
+    QuantizedPmf phi;
+    double theta;
+    double delta;
+    WcdeResult result;
+    /// Shard-local LRU clock value of the last touch.
+    std::uint64_t last_used;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_multimap<Fingerprint, Entry> entries;
+    std::uint64_t clock = 0;
+    WcdeCacheStats stats;
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  Shard& shard_for(Fingerprint fp) { return shards_[fp % kShards]; }
+
+  std::array<Shard, kShards> shards_;
+  std::size_t shard_capacity_;
+  FingerprintFn fingerprint_fn_;
+};
+
+}  // namespace rush

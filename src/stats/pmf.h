@@ -82,6 +82,17 @@ class QuantizedPmf {
   /// feasibility checks run in O(1) (DESIGN.md §5).
   std::vector<double> prefix_cdf() const;
 
+  /// Exact equality: identical binning and identical per-bin mass (no
+  /// tolerance).  Two PMFs that compare equal are interchangeable inputs to
+  /// every deterministic algorithm in this repo — the property the WCDE
+  /// memoization cache relies on to stay bit-for-bit exact.
+  friend bool operator==(const QuantizedPmf& a, const QuantizedPmf& b) {
+    return a.bin_width_ == b.bin_width_ && a.mass_ == b.mass_;
+  }
+  friend bool operator!=(const QuantizedPmf& a, const QuantizedPmf& b) {
+    return !(a == b);
+  }
+
  private:
   std::vector<double> mass_;
   double bin_width_;

@@ -3,25 +3,47 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "src/common/error.h"
+#include "src/common/thread_pool.h"
 
 namespace rush {
 namespace {
 
 constexpr Seconds kUnreachable = -std::numeric_limits<Seconds>::infinity();
+constexpr Seconds kNoViolation = std::numeric_limits<Seconds>::infinity();
+constexpr double kEdfSlack = 1e-9;
 
-struct ActiveJob {
-  const TasJob* job;
-  Seconds deadline = 0.0;  // scratch, recomputed per feasibility probe
+/// Jobs fixed in earlier layers, kept sorted by deadline with prefix demand
+/// sums (the paper's G_t reservation step function in cumulative form), so
+/// a probe only sorts the *active* deadlines and merges against this —
+/// instead of re-sorting the whole union on every probe.
+class PeeledSet {
+ public:
+  void insert(Seconds deadline, ContainerSeconds eta) {
+    const auto it = std::upper_bound(deadline_.begin(), deadline_.end(), deadline);
+    const auto pos = static_cast<std::size_t>(it - deadline_.begin());
+    deadline_.insert(it, deadline);
+    eta_.insert(eta_.begin() + static_cast<std::ptrdiff_t>(pos), eta);
+    prefix_.resize(deadline_.size());
+    for (std::size_t i = pos; i < deadline_.size(); ++i) {
+      prefix_[i] = (i == 0 ? 0.0 : prefix_[i - 1]) + eta_[i];
+    }
+  }
+  std::size_t size() const { return deadline_.size(); }
+  Seconds deadline(std::size_t i) const { return deadline_[i]; }
+  /// Total demand of peeled jobs with deadline <= deadline(i).
+  double prefix(std::size_t i) const { return prefix_[i]; }
+
+ private:
+  std::vector<Seconds> deadline_;
+  std::vector<ContainerSeconds> eta_;
+  std::vector<double> prefix_;
 };
 
-/// A job already fixed in an earlier layer: its demand is reserved up to its
-/// mapping deadline (the paper's G_t step function).
-struct PeeledDemand {
-  Seconds deadline;
-  ContainerSeconds eta;
-};
+/// (deadline, demand) pairs of the active jobs at some probed level.
+using DeadlineDemand = std::vector<std::pair<Seconds, ContainerSeconds>>;
 
 /// Deadline of job `j` for utility level L, compensated by R_i when asked.
 /// Returns kUnreachable when L cannot be achieved at any time >= now.
@@ -34,22 +56,45 @@ Seconds deadline_for_level(const TasJob& j, Utility level, Seconds now, Seconds 
   return d;
 }
 
-/// Preemptive-EDF feasibility (Theorem 2 generalised to include peeled
-/// jobs): for every distinct deadline d in the union, the total demand of
-/// jobs with deadline <= d must fit in capacity * (d - now).
-bool edf_feasible(std::vector<std::pair<Seconds, ContainerSeconds>>& work,
-                  ContainerCount capacity, Seconds now) {
-  std::sort(work.begin(), work.end());
+/// Preemptive-EDF condition (Theorem 2 generalised to include peeled jobs):
+/// for every distinct deadline d in the union of `active` (sorted by
+/// deadline) and `peeled`, the total demand due by d must fit in
+/// capacity * (d - now).  Returns the first violated deadline, or
+/// kNoViolation when every constraint holds.
+Seconds first_edf_violation(const DeadlineDemand& active, const PeeledSet& peeled,
+                            ContainerCount capacity, Seconds now) {
   double load = 0.0;
-  for (std::size_t i = 0; i < work.size(); ++i) {
-    load += work[i].second;
-    const bool last_at_deadline = (i + 1 == work.size()) || work[i + 1].first > work[i].first;
-    if (last_at_deadline &&
-        load > static_cast<double>(capacity) * (work[i].first - now) + 1e-9) {
-      return false;
-    }
+  std::size_t i = 0;
+  std::size_t q = 0;
+  const std::size_t a = active.size();
+  const std::size_t p = peeled.size();
+  while (i < a || q < p) {
+    const Seconds d = (i < a && (q >= p || active[i].first <= peeled.deadline(q)))
+                          ? active[i].first
+                          : peeled.deadline(q);
+    while (i < a && active[i].first <= d) load += active[i++].second;
+    while (q < p && peeled.deadline(q) <= d) ++q;
+    const double due = load + (q > 0 ? peeled.prefix(q - 1) : 0.0);
+    if (due > static_cast<double>(capacity) * (d - now) + kEdfSlack) return d;
   }
-  return true;
+  return kNoViolation;
+}
+
+/// Feasibility of utility level `level`: every active job gets deadline
+/// U^{-1}(level) (compensated); check the EDF condition over active +
+/// peeled demand.  Pure apart from `scratch`, the caller-owned per-lane
+/// buffer — safe to evaluate concurrently with other lanes' probes.
+bool probe_level(const std::vector<const TasJob*>& active, const PeeledSet& peeled,
+                 ContainerCount capacity, Seconds now, Seconds horizon,
+                 bool compensate, Utility level, DeadlineDemand& scratch) {
+  scratch.clear();
+  for (const TasJob* job : active) {
+    const Seconds d = deadline_for_level(*job, level, now, horizon, compensate);
+    if (d == kUnreachable) return false;
+    scratch.emplace_back(d, job->eta);
+  }
+  std::sort(scratch.begin(), scratch.end());
+  return first_edf_violation(scratch, peeled, capacity, now) == kNoViolation;
 }
 
 }  // namespace
@@ -58,9 +103,10 @@ TasResult onion_peel(const std::vector<TasJob>& jobs, ContainerCount capacity,
                      Seconds now, const OnionPeelingConfig& config) {
   require(capacity > 0, "onion_peel: capacity must be positive");
   require(config.tolerance > 0.0, "onion_peel: tolerance must be positive");
+  require(config.section_probes >= 1, "onion_peel: section_probes must be >= 1");
 
   TasResult result;
-  std::vector<ActiveJob> active;
+  std::vector<const TasJob*> active;
   double total_eta = 0.0;
   Seconds max_runtime = 0.0;
   int layer = 0;
@@ -80,7 +126,7 @@ TasResult onion_peel(const std::vector<TasJob>& jobs, ContainerCount capacity,
       result.targets.push_back(t);
       continue;
     }
-    active.push_back({&j, 0.0});
+    active.push_back(&j);
     total_eta += j.eta;
     max_runtime = std::max(max_runtime, j.avg_task_runtime);
   }
@@ -91,23 +137,18 @@ TasResult onion_peel(const std::vector<TasJob>& jobs, ContainerCount capacity,
   }
   result.horizon = horizon;
 
-  std::vector<PeeledDemand> peeled;
-  std::vector<std::pair<Seconds, ContainerSeconds>> work;  // probe scratch
+  PeeledSet peeled;
+  const int k = config.section_probes;
+  // One scratch buffer per probe lane: lane j of a round touches only
+  // scratch[j] and level_ok[j], so concurrent probes need no locking.
+  std::vector<DeadlineDemand> scratch(static_cast<std::size_t>(k));
+  std::vector<Utility> levels(static_cast<std::size_t>(k));
+  std::vector<unsigned char> level_ok(static_cast<std::size_t>(k));
 
-  // feasibility(L): every active job gets deadline U^{-1}(L) (compensated);
-  // check the EDF condition over active + peeled demand.
   const auto feasible = [&](Utility level) {
     ++result.probes;
-    work.clear();
-    for (ActiveJob& a : active) {
-      const Seconds d =
-          deadline_for_level(*a.job, level, now, horizon, config.compensate_runtime);
-      if (d == kUnreachable) return false;
-      a.deadline = d;
-      work.emplace_back(d, a.job->eta);
-    }
-    for (const PeeledDemand& p : peeled) work.emplace_back(p.deadline, p.eta);
-    return edf_feasible(work, capacity, now);
+    return probe_level(active, peeled, capacity, now, horizon,
+                       config.compensate_runtime, level, scratch[0]);
   };
 
   // Level 0 is always feasible with the automatic horizon: every inverse
@@ -116,20 +157,20 @@ TasResult onion_peel(const std::vector<TasJob>& jobs, ContainerCount capacity,
   ensure(feasible(level_feasible), "onion_peel: zero utility level infeasible; horizon too small");
 
   const auto peel_job = [&](std::size_t index, Utility level) {
-    ActiveJob& a = active[index];
+    const TasJob& job = *active[index];
     const Seconds d =
-        deadline_for_level(*a.job, level, now, horizon, config.compensate_runtime);
+        deadline_for_level(job, level, now, horizon, config.compensate_runtime);
     ensure(d != kUnreachable, "onion_peel: peeling at unreachable level");
     TasTarget t;
-    t.id = a.job->id;
+    t.id = job.id;
     t.mapping_deadline = d;
     t.target_completion =
-        config.compensate_runtime ? std::min(d + a.job->avg_task_runtime, horizon) : d;
+        config.compensate_runtime ? std::min(d + job.avg_task_runtime, horizon) : d;
     t.utility_level = level;
     t.layer = layer;
-    t.impossible = a.job->utility->value(t.target_completion) <= 0.0;
+    t.impossible = job.utility->value(t.target_completion) <= 0.0;
     result.targets.push_back(t);
-    peeled.push_back({d, a.job->eta});
+    peeled.insert(d, job.eta);
     active.erase(active.begin() + static_cast<std::ptrdiff_t>(index));
   };
 
@@ -140,7 +181,7 @@ TasResult onion_peel(const std::vector<TasJob>& jobs, ContainerCount capacity,
     Utility level_cap = std::numeric_limits<Utility>::infinity();
     std::size_t cap_index = 0;
     for (std::size_t i = 0; i < active.size(); ++i) {
-      const Utility u_max = active[i].job->utility->value(now);
+      const Utility u_max = active[i]->utility->value(now);
       if (u_max < level_cap) {
         level_cap = u_max;
         cap_index = i;
@@ -160,17 +201,51 @@ TasResult onion_peel(const std::vector<TasJob>& jobs, ContainerCount capacity,
       continue;
     }
 
-    // Bisection on [level_feasible, level_cap] (Algorithm 3 inner loop).
-    // The tolerance is relative to the shrinking bracket: with an absolute
-    // Delta, a feasible region near zero utility (steep sigmoids long past
-    // their budget) would be skipped entirely and the job dumped at the
-    // horizon; the geometric descent keeps resolving until the bracket is
-    // tight in *ratio* (or collapses below any meaningful utility).
+    // k-section on [level_feasible, level_cap] (Algorithm 3 inner loop;
+    // k = 1 is the printed bisection).  Every round evaluates all k
+    // interior levels — no short-circuit, so the serial and pooled paths
+    // perform identical probe schedules — and keeps the bracket
+    // [largest feasible, smallest infeasible]; feasibility is monotone
+    // non-increasing in the level, so each round shrinks the bracket by
+    // (k+1)x.  The tolerance is relative to the shrinking bracket: with an
+    // absolute Delta, a feasible region near zero utility (steep sigmoids
+    // long past their budget) would be skipped entirely and the job dumped
+    // at the horizon; the geometric descent keeps resolving until the
+    // bracket is tight in *ratio* (or collapses below any meaningful
+    // utility).
     Utility lo = level_feasible;
     Utility hi = level_cap;
     while (hi - lo > config.tolerance * std::max(hi, 1e-3) && hi > 1e-12) {
-      const Utility mid = 0.5 * (lo + hi);
-      (feasible(mid) ? lo : hi) = mid;
+      const Utility width = hi - lo;
+      for (int j = 0; j < k; ++j) {
+        levels[static_cast<std::size_t>(j)] =
+            lo + width * static_cast<double>(j + 1) / static_cast<double>(k + 1);
+      }
+      result.probes += k;
+      const auto run_probe = [&](std::size_t j) {
+        level_ok[j] = probe_level(active, peeled, capacity, now, horizon,
+                                  config.compensate_runtime, levels[j], scratch[j])
+                          ? 1
+                          : 0;
+      };
+      if (config.pool != nullptr) {
+        config.pool->parallel_for(static_cast<std::size_t>(k), run_probe);
+      } else {
+        for (std::size_t j = 0; j < static_cast<std::size_t>(k); ++j) run_probe(j);
+      }
+      int best_ok = -1;  // largest feasible probe index
+      for (int j = 0; j < k; ++j) {
+        if (level_ok[static_cast<std::size_t>(j)] != 0) best_ok = j;
+      }
+      int first_bad = k;  // smallest infeasible probe index above best_ok
+      for (int j = k - 1; j > best_ok; --j) {
+        if (level_ok[static_cast<std::size_t>(j)] == 0) first_bad = j;
+      }
+      const Utility prev_lo = lo;
+      const Utility prev_hi = hi;
+      if (best_ok >= 0) lo = levels[static_cast<std::size_t>(best_ok)];
+      if (first_bad < k) hi = levels[static_cast<std::size_t>(first_bad)];
+      if (lo == prev_lo && hi == prev_hi) break;  // bracket exhausted numerically
     }
     level_feasible = lo;
 
@@ -181,35 +256,26 @@ TasResult onion_peel(const std::vector<TasJob>& jobs, ContainerCount capacity,
     {
       const Utility probe = hi;  // last infeasible level
       bool found = false;
-      Seconds violated_at = horizon;
-      work.clear();
       bool unreachable = false;
       std::vector<Seconds> deadlines(active.size());
       for (std::size_t i = 0; i < active.size() && !unreachable; ++i) {
-        deadlines[i] = deadline_for_level(*active[i].job, probe, now, horizon,
+        deadlines[i] = deadline_for_level(*active[i], probe, now, horizon,
                                           config.compensate_runtime);
         if (deadlines[i] == kUnreachable) {
           unreachable = true;
           bottleneck = i;
           found = true;
-        } else {
-          work.emplace_back(deadlines[i], active[i].job->eta);
         }
       }
       if (!unreachable) {
-        for (const PeeledDemand& p : peeled) work.emplace_back(p.deadline, p.eta);
-        std::sort(work.begin(), work.end());
-        double load = 0.0;
-        for (std::size_t i = 0; i < work.size(); ++i) {
-          load += work[i].second;
-          const bool last_at_deadline =
-              (i + 1 == work.size()) || work[i + 1].first > work[i].first;
-          if (last_at_deadline &&
-              load > static_cast<double>(capacity) * (work[i].first - now) + 1e-9) {
-            violated_at = work[i].first;
-            break;
-          }
+        DeadlineDemand& sorted = scratch[0];
+        sorted.clear();
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          sorted.emplace_back(deadlines[i], active[i]->eta);
         }
+        std::sort(sorted.begin(), sorted.end());
+        const Seconds violation = first_edf_violation(sorted, peeled, capacity, now);
+        const Seconds violated_at = violation == kNoViolation ? horizon : violation;
         Seconds best = -1.0;
         for (std::size_t i = 0; i < active.size(); ++i) {
           if (deadlines[i] <= violated_at + 1e-12 && deadlines[i] > best) {

@@ -13,8 +13,8 @@ PlannerJob make_job(JobId id, double demand_mean, double demand_std,
                     const UtilityFunction* utility, Seconds mean_runtime = 10.0) {
   PlannerJob job;
   job.id = id;
-  job.demand = QuantizedPmf::gaussian(demand_mean, demand_std, 256,
-                                      (demand_mean + 6 * demand_std) * 1.25 / 256.0);
+  job.set_demand(QuantizedPmf::gaussian(demand_mean, demand_std, 256,
+                                      (demand_mean + 6 * demand_std) * 1.25 / 256.0));
   job.mean_runtime = mean_runtime;
   job.samples = 50;
   job.utility = utility;

@@ -36,7 +36,7 @@ TEST(RushPlanner, SingleJobPlanCoversDemand) {
   const SigmoidUtility utility(200.0, 4.0, 0.05);
   PlannerJob job;
   job.id = 0;
-  job.demand = QuantizedPmf::gaussian(100.0, 10.0, 256, 1.0);
+  job.set_demand(QuantizedPmf::gaussian(100.0, 10.0, 256, 1.0));
   job.mean_runtime = 10.0;
   job.utility = &utility;
 
@@ -54,7 +54,7 @@ TEST(RushPlanner, RobustnessInflatesDemand) {
   const SigmoidUtility utility(500.0, 4.0, 0.05);
   PlannerJob job;
   job.id = 0;
-  job.demand = QuantizedPmf::gaussian(300.0, 60.0, 256, 2.0);
+  job.set_demand(QuantizedPmf::gaussian(300.0, 60.0, 256, 2.0));
   job.mean_runtime = 10.0;
   job.utility = &utility;
 
@@ -75,7 +75,7 @@ TEST(RushPlanner, InsensitiveJobCedesContainersUnderContention) {
 
   PlannerJob a;
   a.id = 0;
-  a.demand = QuantizedPmf::gaussian(200.0, 20.0, 256, 2.0);
+  a.set_demand(QuantizedPmf::gaussian(200.0, 20.0, 256, 2.0));
   a.mean_runtime = 10.0;
   a.utility = &urgent;
   PlannerJob b = a;
@@ -99,7 +99,7 @@ TEST(RushPlanner, ImpossibleJobIsFlagged) {
   const StepUtility hopeless(5.0, 3.0);  // 5 s budget
   PlannerJob job;
   job.id = 0;
-  job.demand = QuantizedPmf::gaussian(5000.0, 100.0, 256, 40.0);
+  job.set_demand(QuantizedPmf::gaussian(5000.0, 100.0, 256, 40.0));
   job.mean_runtime = 20.0;
   job.utility = &hopeless;
   const Plan plan = planner.plan({job}, 2, 0.0);
@@ -115,7 +115,7 @@ TEST(RushPlanner, DesiredContainersNeverExceedCapacity) {
     utilities.push_back(std::make_unique<SigmoidUtility>(100.0 + 30.0 * i, 3.0, 0.1));
     PlannerJob j;
     j.id = i;
-    j.demand = QuantizedPmf::gaussian(150.0, 30.0, 128, 2.0);
+    j.set_demand(QuantizedPmf::gaussian(150.0, 30.0, 128, 2.0));
     j.mean_runtime = 12.0;
     j.utility = utilities.back().get();
     jobs.push_back(std::move(j));
@@ -189,8 +189,8 @@ TEST_P(PlannerFuzzTest, PlansAreAlwaysConsistent) {
     PlannerJob job;
     job.id = i;
     const double mean = rng.uniform(20.0, 2000.0);
-    job.demand = QuantizedPmf::gaussian(mean, rng.uniform(0.0, 0.4) * mean, 128,
-                                        mean * 3.5 / 128.0);
+    job.set_demand(QuantizedPmf::gaussian(mean, rng.uniform(0.0, 0.4) * mean, 128,
+                                        mean * 3.5 / 128.0));
     job.mean_runtime = rng.uniform(1.0, 60.0);
     job.samples = static_cast<std::size_t>(rng.uniform_int(0, 100));
     job.utility = utilities.back().get();
@@ -205,7 +205,7 @@ TEST_P(PlannerFuzzTest, PlansAreAlwaysConsistent) {
   for (const PlannerJob& job : jobs) {
     const PlanEntry* entry = plan.find(job.id);
     ASSERT_NE(entry, nullptr) << "job " << job.id << " missing from plan";
-    EXPECT_GE(entry->eta, job.demand.quantile_value(config.theta) - 1e-6)
+    EXPECT_GE(entry->eta, job.demand->quantile_value(config.theta) - 1e-6)
         << "robust demand below the reference quantile";
     EXPECT_GE(entry->target_completion, now - 1e-9);
     EXPECT_TRUE(std::isfinite(entry->target_completion));

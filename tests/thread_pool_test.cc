@@ -1,0 +1,110 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), InvalidInput);
+  EXPECT_THROW(ThreadPool(-2), InvalidInput);
+}
+
+TEST(ThreadPool, ResolveThreadsPassesPositiveThrough) {
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);  // auto: hardware threads
+}
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    const std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, JoinMakesSlotWritesVisible) {
+  // The planner's usage pattern: iteration i writes slot i; after the join
+  // the caller must observe every write without extra synchronisation.
+  ThreadPool pool(4);
+  const std::size_t n = 4096;
+  std::vector<double> out(n, -1.0);
+  for (int pass = 0; pass < 10; ++pass) {
+    pool.parallel_for(n, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 0.5 + pass;
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], static_cast<double>(i) * 0.5 + pass);
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingleIterationBatches) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, RethrowsSmallestIndexException) {
+  ThreadPool pool(4);
+  // Several iterations throw; the caller must deterministically see the
+  // smallest index regardless of execution order.
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    std::atomic<int> completed{0};
+    try {
+      pool.parallel_for(256, [&](std::size_t i) {
+        if (i % 50 == 3) throw InvalidInput("boom " + std::to_string(i));
+        completed.fetch_add(1, std::memory_order_relaxed);
+      });
+      FAIL() << "expected an exception";
+    } catch (const InvalidInput& e) {
+      EXPECT_STREQ(e.what(), "boom 3");
+    }
+    // Non-throwing iterations all ran despite the failures.
+    EXPECT_EQ(completed.load(), 256 - 6);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(8);
+  long long total = 0;
+  for (int batch = 0; batch < 100; ++batch) {
+    std::atomic<long long> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+    });
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 100LL * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, PoolOfOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(16);
+  pool.parallel_for(16, [&](std::size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+}  // namespace
+}  // namespace rush

@@ -1,0 +1,156 @@
+// Property tests for the WCDE memoization cache: hits are bit-for-bit equal
+// to fresh solves, mutated PMFs never see stale results, and fingerprint
+// collisions (forced through the test seam) are resolved by exact input
+// comparison, never trusted.
+
+#include "src/robust/wcde_cache.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+
+namespace rush {
+namespace {
+
+QuantizedPmf random_pmf(Rng& rng) {
+  const std::size_t bins = 16 + static_cast<std::size_t>(rng.uniform_int(0, 240));
+  std::vector<double> weights(bins);
+  for (double& w : weights) w = rng.uniform(0.0, 1.0);
+  weights[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(bins) - 1))] += 5.0;
+  return QuantizedPmf::from_weights(std::move(weights), rng.uniform(0.5, 20.0));
+}
+
+void expect_same_result(const WcdeResult& a, const WcdeResult& b) {
+  EXPECT_EQ(a.eta, b.eta);
+  EXPECT_EQ(a.eta_bin, b.eta_bin);
+  EXPECT_EQ(a.reference_eta, b.reference_eta);
+  EXPECT_EQ(a.truncated, b.truncated);
+}
+
+TEST(WcdeCache, CachedHitsEqualFreshSolves) {
+  WcdeCache cache;
+  Rng rng(101);
+  for (int round = 0; round < 200; ++round) {
+    const QuantizedPmf phi = random_pmf(rng);
+    const double theta = rng.uniform(0.05, 0.95);
+    const double delta = rng.uniform(0.0, 1.5);
+    const WcdeResult fresh = solve_wcde(phi, theta, delta);
+    expect_same_result(cache.solve(phi, theta, delta), fresh);  // miss path
+    expect_same_result(cache.solve(phi, theta, delta), fresh);  // hit path
+  }
+  const WcdeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 200u);
+  EXPECT_EQ(stats.hits, 200u);
+  EXPECT_EQ(stats.collisions, 0u);
+}
+
+TEST(WcdeCache, DistinctThetaOrDeltaNeverShareAnEntry) {
+  WcdeCache cache;
+  Rng rng(7);
+  const QuantizedPmf phi = random_pmf(rng);
+  for (double theta : {0.5, 0.9}) {
+    for (double delta : {0.0, 0.3, 0.9}) {
+      expect_same_result(cache.solve(phi, theta, delta), solve_wcde(phi, theta, delta));
+    }
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 6u);
+}
+
+TEST(WcdeCache, MutatingAPmfInvalidatesItsEntry) {
+  WcdeCache cache;
+  Rng rng(55);
+  for (int round = 0; round < 50; ++round) {
+    QuantizedPmf phi = random_pmf(rng);
+    const double theta = rng.uniform(0.1, 0.9);
+    const double delta = rng.uniform(0.0, 1.0);
+    expect_same_result(cache.solve(phi, theta, delta), solve_wcde(phi, theta, delta));
+
+    // Mutate: shift mass into a random bin and renormalise.  The mutated
+    // PMF is a different key, so the stale entry can never be returned.
+    phi.add_mass_at(rng.uniform(0.0, phi.tau_max()), rng.uniform(0.5, 2.0));
+    phi.normalize();
+    expect_same_result(cache.solve(phi, theta, delta), solve_wcde(phi, theta, delta));
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 100u);
+}
+
+TEST(WcdeCache, ForcedFingerprintCollisionsResolveCorrectly) {
+  WcdeCache cache;
+  // Every input now lands on one fingerprint (and one shard): from the
+  // cache's point of view all lookups collide, and correctness must come
+  // from the exact (phi, theta, delta) comparison alone.
+  cache.set_fingerprint_fn_for_test(
+      [](const QuantizedPmf&, double, double) -> WcdeCache::Fingerprint { return 42; });
+
+  Rng rng(202);
+  std::vector<QuantizedPmf> pmfs;
+  std::vector<WcdeResult> fresh;
+  for (int i = 0; i < 20; ++i) {
+    pmfs.push_back(random_pmf(rng));
+    fresh.push_back(solve_wcde(pmfs.back(), 0.8, 0.4));
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < pmfs.size(); ++i) {
+      expect_same_result(cache.solve(pmfs[i], 0.8, 0.4), fresh[i]);
+    }
+  }
+  const WcdeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 20u);        // second pass: all exact matches
+  EXPECT_EQ(stats.misses, 20u);      // first pass: all distinct inputs
+  EXPECT_GT(stats.collisions, 0u);   // same fingerprint, different PMFs
+}
+
+TEST(WcdeCache, EvictsLeastRecentlyUsedBeyondCapacity) {
+  WcdeCache cache(16);  // one entry per shard
+  Rng rng(303);
+  for (int i = 0; i < 200; ++i) {
+    const QuantizedPmf phi = random_pmf(rng);
+    expect_same_result(cache.solve(phi, 0.9, 0.5), solve_wcde(phi, 0.9, 0.5));
+  }
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(WcdeCache, RejectsBadConstruction) {
+  EXPECT_THROW(WcdeCache(0), InvalidInput);
+  WcdeCache cache;
+  EXPECT_THROW(cache.set_fingerprint_fn_for_test(nullptr), InvalidInput);
+}
+
+TEST(WcdeCache, ConcurrentMixedLookupsStayExact) {
+  // The planner's access pattern: many threads solving a mix of repeated
+  // and fresh PMFs concurrently.  Every result must equal the fresh solve.
+  WcdeCache cache;
+  Rng rng(404);
+  const std::size_t distinct = 32;
+  std::vector<QuantizedPmf> pmfs;
+  std::vector<WcdeResult> fresh;
+  for (std::size_t i = 0; i < distinct; ++i) {
+    pmfs.push_back(random_pmf(rng));
+    fresh.push_back(solve_wcde(pmfs[i], 0.85, 0.6));
+  }
+  ThreadPool pool(8);
+  const std::size_t lookups = 2048;
+  std::vector<WcdeResult> got(lookups);
+  pool.parallel_for(lookups, [&](std::size_t i) {
+    got[i] = cache.solve(pmfs[i % distinct], 0.85, 0.6);
+  });
+  for (std::size_t i = 0; i < lookups; ++i) {
+    expect_same_result(got[i], fresh[i % distinct]);
+  }
+  const WcdeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups);
+  EXPECT_GE(stats.hits, lookups - 2 * distinct);  // racing misses may duplicate
+}
+
+}  // namespace
+}  // namespace rush
