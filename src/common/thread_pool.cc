@@ -29,6 +29,24 @@ void cpu_relax() {
 #endif
 }
 
+/// Pool whose parallel_for is running on this thread (as the caller or as a
+/// worker executing a body).  Lets a nested same-pool parallel_for fail
+/// loudly instead of deadlocking on batch_mutex_.
+thread_local const ThreadPool* t_active_pool = nullptr;
+
+class ActivePoolGuard {
+ public:
+  explicit ActivePoolGuard(const ThreadPool* pool) : saved_(t_active_pool) {
+    t_active_pool = pool;
+  }
+  ~ActivePoolGuard() { t_active_pool = saved_; }
+  ActivePoolGuard(const ActivePoolGuard&) = delete;
+  ActivePoolGuard& operator=(const ActivePoolGuard&) = delete;
+
+ private:
+  const ThreadPool* saved_;
+};
+
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
@@ -57,13 +75,22 @@ int ThreadPool::resolve_threads(int configured) {
 }
 
 void ThreadPool::drain_batch(std::uint32_t batch) {
-  // body_/end_ were written before the release-store that published `batch`
-  // into control_, so the acquire-load that showed us `batch` makes them
-  // visible and mutually consistent.  (A stale re-read during the *next*
-  // publish is harmless: the CAS below then fails on the batch half and the
-  // value is never used.)
-  const std::function<void(std::size_t)>* body = body_.load(std::memory_order_relaxed);
-  const std::size_t end = end_.load(std::memory_order_relaxed);
+  // Seqlock validation: body_/end_ may belong to a *newer* batch whose
+  // publish is in flight (its field stores land before its control_ store),
+  // so a batch id alone cannot vouch for them.  The fields are `batch`'s
+  // exactly when seq_ reads 2 * batch both before and after loading them:
+  // ids are never reused, and the publisher brackets its field writes with
+  // the odd/even transitions of seq_.  All four accesses are seq_cst, so the
+  // field loads cannot observe a later publish's stores while both seq_
+  // reads still show this batch.  On any mismatch we back off without
+  // claiming or running anything — the batch was superseded (or is being
+  // republished) and is no longer ours to help.
+  const std::uint64_t stable = std::uint64_t{batch} * 2;
+  if (seq_.load() != stable) return;
+  const std::function<void(std::size_t)>* body = body_.load();
+  const std::size_t end = end_.load();
+  if (seq_.load() != stable) return;
+
   std::uint64_t control = control_.load(std::memory_order_acquire);
   for (;;) {
     if (batch_of(control) != batch) return;  // superseded: not our iterations
@@ -95,6 +122,7 @@ void ThreadPool::drain_batch(std::uint32_t batch) {
 }
 
 void ThreadPool::worker_loop() {
+  ActivePoolGuard active(this);  // bodies run here must not re-enter this pool
   std::uint32_t seen = 0;
   for (;;) {
     std::uint32_t batch = batch_of(control_.load(std::memory_order_acquire));
@@ -126,19 +154,33 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  require(t_active_pool != this,
+          "ThreadPool::parallel_for: nested call on the same pool from an "
+          "iteration body (would deadlock)");
   std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+  ActivePoolGuard active(this);
   if (workers_.empty() || n == 1) {
     // Serial reference path: the caller runs every iteration in index order.
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
   require(n <= kIndexMask, "ThreadPool::parallel_for: too many iterations");
+  // Batch ids are never reused: a 32-bit id that wrapped could alias a batch
+  // a long-preempted worker still remembers, re-opening the claim race the
+  // seqlock closes.  2^32 - 1 batches is weeks of continuous dispatch; fail
+  // loudly rather than wrap silently.
+  ensure(batches_dispatched_ < kIndexMask,
+         "ThreadPool: batch ids exhausted (2^32 - 1 batches dispatched)");
+  const std::uint64_t id = ++batches_dispatched_;
+  const std::uint32_t batch = static_cast<std::uint32_t>(id);
 
-  body_.store(&body, std::memory_order_relaxed);
-  end_.store(n, std::memory_order_relaxed);
-  done_.store(0, std::memory_order_relaxed);
-  const std::uint32_t batch =
-      batch_of(control_.load(std::memory_order_relaxed)) + 1;
+  // Publish under the seqlock: odd while writing, even once stable, and only
+  // then expose the batch id through control_ (see drain_batch for why).
+  seq_.store(2 * id - 1);
+  body_.store(&body);
+  end_.store(n);
+  done_.store(0);
+  seq_.store(2 * id);
   {
     // The batch id must change under mutex_: a worker's park predicate reads
     // control_ under the same lock, so it either sees the new id or is still
@@ -151,7 +193,10 @@ void ThreadPool::parallel_for(std::size_t n,
   drain_batch(batch);
 
   // Join: every iteration (not just every claim) must have finished before
-  // we return, so slot writes are visible and `body` can be destroyed.
+  // we return, so slot writes are visible and `body` can be destroyed.  A
+  // claim can only succeed while control_ still names this batch, so exactly
+  // n claims ever happen and each precedes its done_ increment: done_ == n
+  // proves no thread can still be inside (or about to call) `body`.
   int spins = spin_budget_;
   while (done_.load(std::memory_order_acquire) < n) {
     if (--spins <= 0) {

@@ -16,13 +16,23 @@
 //      batch word before parking, iterations are claimed by CAS on the same
 //      word, and the join spins on a completion counter before sleeping.
 //
-// Batch protocol: `control_` packs (batch id << 32 | next iteration).  A
-// publisher writes body/end/done, then release-stores a new batch id into
-// `control_`; workers acquire-load it, so observing the new id makes the
-// batch fields visible.  Claims CAS the low half up; a claim can only
-// succeed while the high half still names the batch the claimant saw, so a
-// worker that slept through a join can never steal an iteration from (or
-// call the body of) a batch it did not observe.
+// Batch protocol: `control_` packs (batch id << 32 | next iteration).
+// Batch ids are assigned from a monotonically increasing 64-bit counter and
+// never reused (parallel_for fails loudly if a process ever dispatches
+// 2^32 - 1 batches, so the 32-bit id in `control_` cannot alias an earlier
+// batch).  The batch's loop fields (body, end, completion counter) are
+// published under a seqlock: `seq_` holds `2 * id - 1` while the publisher
+// writes the fields and `2 * id` once they are stable, and only then does
+// the publisher store the new id into `control_`.  A drainer first reads
+// `seq_`, loads body/end, and re-reads `seq_`; unless both reads equal
+// `2 * id` for *its* batch id it backs off without touching anything.  This
+// closes the race where a worker that observed batch B is preempted and
+// resumes mid-publish of batch B+1: it can no longer pair B's id with B+1's
+// end/body (it sees the odd `seq_`, or the mismatched id, and returns).
+// After validation, claims CAS the low half of `control_` up; a claim can
+// only succeed while the high half still names the claimant's batch, so all
+// n claims of a batch happen before its join returns and none after — the
+// caller's `body` is never invoked once parallel_for has returned.
 #pragma once
 
 #include <atomic>
@@ -58,6 +68,11 @@ class ThreadPool {
   /// remaining iterations still run and the exception of the
   /// smallest-index failure is rethrown here.  Calls are serialized: the
   /// pool runs one batch at a time.
+  ///
+  /// NOT reentrant: a body must never call parallel_for on the *same* pool
+  /// (directly or transitively) — the nested call would deadlock on the
+  /// batch lock.  Such calls are detected and throw InvalidInput instead of
+  /// hanging.  Nesting across *different* pools is fine.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
   /// Maps a configured thread count to an effective one: values >= 1 are
@@ -66,8 +81,10 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  /// Claims and runs iterations of batch `batch` until none are left (or the
-  /// batch is superseded).  Every successful claim bumps done_ exactly once.
+  /// Claims and runs iterations of batch `batch` until none are left,
+  /// after validating through seq_ that the published loop fields belong to
+  /// `batch` (backs off untouched if the batch was superseded or is being
+  /// republished).  Every successful claim bumps done_ exactly once.
   void drain_batch(std::uint32_t batch);
 
   std::vector<std::thread> workers_;
@@ -75,11 +92,21 @@ class ThreadPool {
   /// Serializes parallel_for callers (one batch in flight at a time).
   std::mutex batch_mutex_;
 
+  /// Batches dispatched so far == id of the latest batch (ids start at 1 and
+  /// are never reused; see the batch protocol above).  Guarded by
+  /// batch_mutex_.
+  std::uint64_t batches_dispatched_ = 0;
+
+  /// Seqlock word guarding body_/end_/done_: `2 * id - 1` while batch `id`'s
+  /// fields are being written, `2 * id` once they are stable.  All accesses
+  /// are seq_cst; they happen once per batch per thread, not per iteration.
+  std::atomic<std::uint64_t> seq_{0};
+
   /// (batch id << 32) | next unclaimed iteration.  The batch id changes only
   /// under mutex_ (so parked workers cannot miss it); the low half moves by
   /// lock-free CAS claims.
   std::atomic<std::uint64_t> control_{0};
-  /// Iterations of the current batch; valid once control_ shows its id.
+  /// Iterations of the current batch; valid while seq_ == 2 * id.
   std::atomic<const std::function<void(std::size_t)>*> body_{nullptr};
   std::atomic<std::size_t> end_{0};
   /// Completed iterations of the current batch; the join waits for == end_.

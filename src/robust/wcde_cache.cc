@@ -68,6 +68,20 @@ WcdeResult WcdeCache::solve(const QuantizedPmf& phi, double theta, double delta)
   const WcdeResult result = solve_wcde(phi, theta, delta);
 
   std::lock_guard<std::mutex> lock(shard.mutex);
+  // Another thread may have missed on the same inputs concurrently and
+  // inserted while we solved.  Re-scan before emplacing: a duplicate entry
+  // would permanently eat shard capacity and slow every later lookup on
+  // this fingerprint.  solve_wcde is deterministic, so refreshing the
+  // existing entry and returning our result are equivalent.
+  auto [it, end] = shard.entries.equal_range(fp);
+  for (; it != end; ++it) {
+    Entry& entry = it->second;
+    if (entry.theta == theta && entry.delta == delta && entry.phi == phi) {
+      entry.last_used = ++shard.clock;
+      ++shard.stats.misses;  // we did pay for a solve
+      return result;
+    }
+  }
   if (shard.entries.size() >= shard_capacity_) {
     auto victim = shard.entries.begin();
     for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {

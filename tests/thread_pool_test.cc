@@ -97,6 +97,61 @@ TEST(ThreadPool, ReusableAcrossManyBatches) {
   EXPECT_EQ(total, 100LL * (99 * 100 / 2));
 }
 
+TEST(ThreadPool, BackToBackBatchesOfChangingSizes) {
+  // Regression for the publish race: a worker that observed batch B and was
+  // preempted before loading the loop fields could resume mid-publish of
+  // batch B+1 and pair B's id with B+1's larger end — claiming a phantom
+  // iteration and running a destroyed (or not-yet-published) body.  Hammer
+  // rapid re-publishes with growing-then-shrinking sizes and distinct bodies
+  // so any stale claim trips the exact-once accounting (and TSan/ASan).
+  ThreadPool pool(4);
+  for (int round = 0; round < 3000; ++round) {
+    const std::size_t n = 2 + static_cast<std::size_t>((round * 7) % 61);
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&hits, round](std::size_t i) {
+      ASSERT_LT(i, hits.size()) << "phantom iteration in round " << round;
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round=" << round << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, NestedCallOnSamePoolThrowsInsteadOfDeadlocking) {
+  // parallel_for is documented non-reentrant; a nested same-pool call must
+  // fail loudly (InvalidInput) rather than hang on the batch lock.  The
+  // nested throw surfaces through the smallest-index rethrow machinery.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(2, [](std::size_t) {});
+                                 }),
+               InvalidInput);
+  // The pool stays usable after the rejected nesting.
+  std::atomic<int> ran{0};
+  pool.parallel_for(16, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+
+  // Serial pools hit the same guard (a nested call would otherwise deadlock
+  // on the non-recursive batch mutex even with no workers).
+  ThreadPool serial(1);
+  EXPECT_THROW(serial.parallel_for(4,
+                                   [&](std::size_t) {
+                                     serial.parallel_for(2, [](std::size_t) {});
+                                   }),
+               InvalidInput);
+
+  // Nesting across *different* pools is allowed.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> nested{0};
+  outer.parallel_for(4, [&](std::size_t) {
+    inner.parallel_for(4, [&](std::size_t) { nested.fetch_add(1); });
+  });
+  EXPECT_EQ(nested.load(), 16);
+}
+
 TEST(ThreadPool, PoolOfOneRunsInline) {
   ThreadPool pool(1);
   EXPECT_EQ(pool.threads(), 1);

@@ -149,7 +149,32 @@ TEST(WcdeCache, ConcurrentMixedLookupsStayExact) {
   }
   const WcdeCacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits + stats.misses, lookups);
-  EXPECT_GE(stats.hits, lookups - 2 * distinct);  // racing misses may duplicate
+  // Racing misses on the same inputs may each pay for a solve, but the
+  // insert path dedups: the table never holds two entries for one triple.
+  EXPECT_EQ(cache.size(), distinct);
+  EXPECT_GE(stats.misses, distinct);
+}
+
+TEST(WcdeCache, ConcurrentMissesOnOneKeyNeverDuplicateEntries) {
+  // All threads miss on the *same* (phi, theta, delta) at once: every racer
+  // solves, but only one entry may land (duplicates would permanently eat
+  // shard capacity and slow every later lookup on that fingerprint).
+  Rng rng(505);
+  const QuantizedPmf phi = random_pmf(rng);
+  const WcdeResult fresh = solve_wcde(phi, 0.9, 0.3);
+  ThreadPool pool(8);
+  for (int round = 0; round < 20; ++round) {
+    WcdeCache cache;
+    std::vector<WcdeResult> got(64);
+    pool.parallel_for(got.size(), [&](std::size_t i) {
+      got[i] = cache.solve(phi, 0.9, 0.3);
+    });
+    for (const WcdeResult& r : got) expect_same_result(r, fresh);
+    EXPECT_EQ(cache.size(), 1u);
+    const WcdeCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses, got.size());
+    EXPECT_GE(stats.misses, 1u);
+  }
 }
 
 }  // namespace
