@@ -69,6 +69,21 @@ struct RunResult {
   long speculative_kills = 0;
   /// True when the run drained every submitted job before max_time.
   bool completed = true;
+
+  /// Planner overhead profile of the run, copied from the scheduler's
+  /// PlanStats by the experiment harness when the scheduler is RUSH (all
+  /// zero otherwise).  Plain numbers so the cluster layer needs no
+  /// dependency on the planner; microsecond fields accumulate over every
+  /// pass, probe counts are hardware-independent.
+  long plan_passes = 0;
+  long plan_warm_passes = 0;
+  long plan_peel_probes = 0;
+  long plan_warm_layers = 0;
+  double plan_wcde_us = 0.0;
+  double plan_peel_us = 0.0;
+  double plan_map_us = 0.0;
+  long plan_wcde_cache_hits = 0;
+  long plan_wcde_cache_misses = 0;
 };
 
 /// Passive observer of cluster execution (tracing, statistics).  All hooks

@@ -36,7 +36,7 @@ struct AdmissionVerdict {
   /// Active jobs whose planned utility level drops by more than the
   /// tolerance when the candidate is admitted.
   std::vector<JobId> degraded;
-  /// Full projected plan including the candidate (candidate last).
+  /// Full projected plan including the candidate (entries sorted by id).
   Plan projected;
 };
 

@@ -34,6 +34,16 @@ struct RushConfig {
   /// Onion peeling bisection tolerance Delta on the utility level.
   double peel_tolerance = 1e-3;
 
+  /// Warm-starts each onion-peeling layer from the previous pass's peel
+  /// level (DESIGN.md §5d).  Consecutive replans differ by one observation,
+  /// so the previous level brackets the new one within ~tolerance; each
+  /// layer validates its hint with two probes and falls back to the cold
+  /// bracket when the hint is stale, cutting the k-section from
+  /// ~log(cap/tol) rounds to ~1-2 probes in steady state.  Off by default:
+  /// the cold path is the bit-exact reference; warm plans agree with it
+  /// within the peel tolerance, not to the last bit.
+  bool warm_start_peeling = false;
+
   /// Shrink deadlines by R_i so the Theorem 3 stretch stays within target.
   bool compensate_runtime = true;
 

@@ -1,13 +1,33 @@
 #include "src/core/rush_planner.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <chrono>
+#include <utility>
 
 #include "src/check/invariant_auditor.h"
 #include "src/common/error.h"
 #include "src/robust/wcde.h"
 
 namespace rush {
+namespace {
+
+using ProfileClock = std::chrono::steady_clock;
+
+double elapsed_us(ProfileClock::time_point from, ProfileClock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Index of `id` in the sorted entries; the id must be present.
+std::size_t entry_index(const Plan& plan, JobId id) {
+  const auto it = std::lower_bound(
+      plan.entries.begin(), plan.entries.end(), id,
+      [](const PlanEntry& e, JobId want) { return e.id < want; });
+  ensure(it != plan.entries.end() && it->id == id,
+         "RushPlanner: job missing from plan entries");
+  return static_cast<std::size_t>(it - plan.entries.begin());
+}
+
+}  // namespace
 
 RushPlanner::RushPlanner(RushConfig config)
     : config_(std::move(config)), wcde_cache_(config_.wcde_cache_capacity) {
@@ -28,6 +48,8 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
   result.computed_at = now;
   // Debug builds audit unconditionally; release builds opt in per config.
   const bool audit = kDcheckEnabled || config_.audit_invariants;
+  PassScratch& scratch = scratch_;
+  const auto t_start = ProfileClock::now();
 
   // Step 1 — WCDE per job.  The solves are decoupled across jobs (§III-A),
   // so they fan out across the pool; each iteration writes only its own
@@ -37,15 +59,15 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
     require(job.utility != nullptr, "RushPlanner::plan: job without utility");
     require(job.demand != nullptr, "RushPlanner::plan: job without demand snapshot");
   }
-  std::vector<WcdeResult> wcde_of(jobs.size());
+  scratch.wcde_of.resize(jobs.size());
   const auto solve_one = [&](std::size_t i) {
     const PlannerJob& job = jobs[i];
     const double delta = config_.delta_for(job.samples);
-    wcde_of[i] = config_.wcde_cache
-                     ? wcde_cache_.solve(*job.demand, config_.theta, delta)
-                     : solve_wcde(*job.demand, config_.theta, delta);
+    scratch.wcde_of[i] = config_.wcde_cache
+                             ? wcde_cache_.solve(*job.demand, config_.theta, delta)
+                             : solve_wcde(*job.demand, config_.theta, delta);
     if (audit) {
-      audit_wcde(*job.demand, config_.theta, delta, wcde_of[i]).throw_if_failed();
+      audit_wcde(*job.demand, config_.theta, delta, scratch.wcde_of[i]).throw_if_failed();
     }
   };
   if (pool_ != nullptr) {
@@ -54,46 +76,64 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
     for (std::size_t i = 0; i < jobs.size(); ++i) solve_one(i);
   }
 
-  std::vector<TasJob> tas_jobs;
-  std::unordered_map<JobId, std::size_t> entry_of;
-  tas_jobs.reserve(jobs.size());
+  scratch.tas_jobs.clear();
+  scratch.tas_jobs.reserve(jobs.size());
+  result.entries.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const PlannerJob& job = jobs[i];
     PlanEntry entry;
     entry.id = job.id;
-    entry.eta = wcde_of[i].eta;
-    entry_of[job.id] = result.entries.size();
+    entry.eta = scratch.wcde_of[i].eta;
     result.entries.push_back(entry);
 
     TasJob tj;
     tj.id = job.id;
-    tj.eta = wcde_of[i].eta;
+    tj.eta = scratch.wcde_of[i].eta;
     tj.avg_task_runtime = job.mean_runtime;
     tj.utility = job.utility;
-    tas_jobs.push_back(tj);
+    scratch.tas_jobs.push_back(tj);
   }
+  // Keep entries sorted by id so every later lookup — including the
+  // scheduler's per-grant Plan::find — is a binary search.
+  std::sort(result.entries.begin(), result.entries.end(),
+            [](const PlanEntry& a, const PlanEntry& b) { return a.id < b.id; });
+  for (std::size_t i = 1; i < result.entries.size(); ++i) {
+    require(result.entries[i - 1].id != result.entries[i].id,
+            "RushPlanner::plan: duplicate job id");
+  }
+  scratch.entry_runtime.resize(result.entries.size());
+  for (const TasJob& tj : scratch.tas_jobs) {
+    scratch.entry_runtime[entry_index(result, tj.id)] = tj.avg_task_runtime;
+  }
+  const auto t_wcde = ProfileClock::now();
 
   // Step 2 — onion peeling for target completion times.  The peel's probe
   // schedule is fixed (it never depends on the pool), so handing it the
   // pool only shortens the wall clock of each k-section round; the targets
-  // stay bit-for-bit identical to the serial path.
+  // stay bit-for-bit identical to the serial path.  With warm_start_peeling
+  // the previous pass's layer levels seed each layer's bracket instead.
   OnionPeelingConfig peel_config;
   peel_config.tolerance = config_.peel_tolerance;
   peel_config.compensate_runtime = config_.compensate_runtime;
   peel_config.pool = pool_.get();
-  const TasResult tas = onion_peel(tas_jobs, capacity, now, peel_config);
+  const bool warm = config_.warm_start_peeling && !peel_hint_.empty();
+  if (warm) peel_config.warm_hint = &peel_hint_;
+  TasResult tas = onion_peel(scratch.tas_jobs, capacity, now, peel_config);
   result.peel_probes = tas.probes;
-  if (audit) {
-    audit_tas(tas, tas_jobs, capacity, now).throw_if_failed();
+  if (config_.warm_start_peeling) {
+    peel_hint_ = std::move(tas.hint);
   }
+  if (audit) {
+    audit_tas(tas, scratch.tas_jobs, capacity, now).throw_if_failed();
+  }
+  const auto t_peel = ProfileClock::now();
 
   // Step 3 — continuous time slot mapping.
-  std::vector<MappingJob> mapping_jobs;
-  mapping_jobs.reserve(tas.targets.size());
-  std::unordered_map<JobId, Seconds> runtime_of;
-  for (const TasJob& tj : tas_jobs) runtime_of[tj.id] = tj.avg_task_runtime;
+  scratch.mapping_jobs.clear();
+  scratch.mapping_jobs.reserve(tas.targets.size());
   for (const TasTarget& target : tas.targets) {
-    PlanEntry& entry = result.entries[entry_of.at(target.id)];
+    const std::size_t index = entry_index(result, target.id);
+    PlanEntry& entry = result.entries[index];
     entry.target_completion = target.target_completion;
     entry.utility_level = target.utility_level;
     entry.impossible = target.impossible;
@@ -102,34 +142,47 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
     mj.id = target.id;
     mj.deadline = target.mapping_deadline;
     mj.eta = entry.eta;
-    mj.task_runtime = runtime_of.at(target.id);
-    mapping_jobs.push_back(mj);
+    mj.task_runtime = scratch.entry_runtime[index];
+    scratch.mapping_jobs.push_back(mj);
   }
   MappingResult mapping;
   if (audit) {
     // The audit needs the inputs after the call, so keep (and copy) them.
-    mapping = map_time_slots(mapping_jobs, capacity, now);
-    audit_mapping(mapping, mapping_jobs, capacity, now).throw_if_failed();
+    mapping = map_time_slots(scratch.mapping_jobs, capacity, now);
+    audit_mapping(mapping, scratch.mapping_jobs, capacity, now).throw_if_failed();
   } else {
-    mapping = map_time_slots(std::move(mapping_jobs), capacity, now);
+    mapping = map_time_slots(std::move(scratch.mapping_jobs), capacity, now);
   }
 
   // Step 4 — count queue heads: the first segment of each queue is the work
   // that should occupy that container next, so the per-job head count is the
   // allocation RUSH wants to converge to.
-  std::vector<Seconds> head_start(static_cast<std::size_t>(capacity), kNever);
-  std::vector<JobId> head_job(static_cast<std::size_t>(capacity), kInvalidJob);
+  scratch.head_start.assign(static_cast<std::size_t>(capacity), kNever);
+  scratch.head_job.assign(static_cast<std::size_t>(capacity), kInvalidJob);
   for (const MappedSegment& seg : mapping.segments) {
     const auto q = static_cast<std::size_t>(seg.queue);
-    if (seg.start < head_start[q]) {
-      head_start[q] = seg.start;
-      head_job[q] = seg.job;
+    if (seg.start < scratch.head_start[q]) {
+      scratch.head_start[q] = seg.start;
+      scratch.head_job[q] = seg.job;
     }
   }
-  for (JobId id : head_job) {
+  for (JobId id : scratch.head_job) {
     if (id == kInvalidJob) continue;
-    result.entries[entry_of.at(id)].desired_containers += 1;
+    result.entries[entry_index(result, id)].desired_containers += 1;
   }
+  const auto t_map = ProfileClock::now();
+
+  stats_.passes += 1;
+  if (warm) stats_.warm_passes += 1;
+  stats_.last_jobs = jobs.size();
+  stats_.wcde_us += elapsed_us(t_start, t_wcde);
+  stats_.peel_us += elapsed_us(t_wcde, t_peel);
+  stats_.map_us += elapsed_us(t_peel, t_map);
+  stats_.peel_probes += tas.probes;
+  stats_.warm_layers += tas.warm_layers;
+  const WcdeCacheStats cache = wcde_cache_.stats();
+  stats_.wcde_cache_hits = static_cast<long>(cache.hits);
+  stats_.wcde_cache_misses = static_cast<long>(cache.misses);
 
   return result;
 }

@@ -10,12 +10,15 @@
 
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <vector>
 
 #include "src/common/thread_pool.h"
 #include "src/common/types.h"
 #include "src/core/rush_config.h"
+#include "src/robust/wcde.h"
 #include "src/robust/wcde_cache.h"
 #include "src/stats/pmf.h"
 #include "src/tas/onion_peeling.h"
@@ -62,17 +65,44 @@ struct PlanEntry {
 };
 
 struct Plan {
+  /// Entries sorted by job id (RushPlanner::plan guarantees it), so a
+  /// lookup is a binary search — the scheduler's container-assignment path
+  /// calls find() once per job per grant, which was an O(J^2) linear scan.
   std::vector<PlanEntry> entries;
   Seconds computed_at = 0.0;
   /// Feasibility probes spent in onion peeling (benchmark aid).
   long peel_probes = 0;
 
   const PlanEntry* find(JobId id) const {
-    for (const PlanEntry& e : entries) {
-      if (e.id == id) return &e;
-    }
-    return nullptr;
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), id,
+        [](const PlanEntry& e, JobId want) { return e.id < want; });
+    return it != entries.end() && it->id == id ? &*it : nullptr;
   }
+};
+
+/// Per-stage profile of the planning passes a planner has run — the Fig 5
+/// overhead story as live counters.  Durations and counters accumulate
+/// across passes; divide by `passes` for per-pass figures (the probe count
+/// is hardware-independent, the microseconds are not).
+struct PlanStats {
+  long passes = 0;
+  /// Passes whose onion peel started from a previous pass's hint.
+  long warm_passes = 0;
+  /// Jobs in the most recent pass.
+  std::size_t last_jobs = 0;
+  /// Accumulated wall-clock per stage (microseconds): WCDE fan-out,
+  /// onion peeling, slot mapping + head census.
+  double wcde_us = 0.0;
+  double peel_us = 0.0;
+  double map_us = 0.0;
+  /// Accumulated onion-peel feasibility probes.
+  long peel_probes = 0;
+  /// Accumulated layers that collapsed directly from their warm hint.
+  long warm_layers = 0;
+  /// Snapshot of the WCDE cache counters (planner lifetime).
+  long wcde_cache_hits = 0;
+  long wcde_cache_misses = 0;
 };
 
 class RushPlanner {
@@ -87,6 +117,11 @@ class RushPlanner {
   /// consult the memoization cache when `config.wcde_cache` is set; results
   /// are merged back in job order, so the Plan is bit-for-bit identical to
   /// the serial, cache-less reference path in every configuration.
+  ///
+  /// Job ids must be unique.  Not safe to call concurrently on one planner:
+  /// passes reuse the planner's scratch buffers and (when
+  /// config.warm_start_peeling is on) feed each pass's peel levels into the
+  /// next as a warm start.
   Plan plan(const std::vector<PlannerJob>& jobs, ContainerCount capacity,
             Seconds now) const;
 
@@ -99,13 +134,35 @@ class RushPlanner {
   /// (all zero while config().wcde_cache is false).
   WcdeCacheStats wcde_cache_stats() const { return wcde_cache_.stats(); }
 
+  /// Per-stage profile accumulated over every pass this planner ran.
+  PlanStats plan_stats() const { return stats_; }
+
  private:
+  /// Buffers of one planning pass, hoisted out of plan() so consecutive
+  /// passes reuse their allocations instead of paying O(jobs) maps and
+  /// vectors per pass.  Mutable for the same reason as the cache: reuse is
+  /// observable only through latency.
+  struct PassScratch {
+    std::vector<WcdeResult> wcde_of;
+    std::vector<TasJob> tas_jobs;
+    std::vector<MappingJob> mapping_jobs;
+    /// R_i per plan entry, aligned with the sorted Plan::entries.
+    std::vector<Seconds> entry_runtime;
+    std::vector<Seconds> head_start;
+    std::vector<JobId> head_job;
+  };
+
   RushConfig config_;
   /// Memoizes (PMF, theta, delta) -> WcdeResult across passes.  Mutable:
   /// memoization is observable only through latency and stats.
   mutable WcdeCache wcde_cache_;
   /// Fan-out substrate; null when the config resolves to one lane.
   std::unique_ptr<ThreadPool> pool_;
+  mutable PassScratch scratch_;
+  /// Previous pass's per-layer peel levels (empty until the first pass, or
+  /// always when warm_start_peeling is off).
+  mutable PeelHint peel_hint_;
+  mutable PlanStats stats_;
 };
 
 }  // namespace rush

@@ -44,6 +44,11 @@ class RushScheduler final : public Scheduler {
   /// Total planning passes executed (overhead accounting, Fig 5).
   long plans_computed() const { return plans_computed_; }
 
+  /// Per-stage profile of every planning pass this scheduler ran (WCDE /
+  /// peel / mapping microseconds, probe counts, warm-start and cache
+  /// counters) — the live form of the Fig 5 overhead measurement.
+  PlanStats plan_stats() const { return planner_.plan_stats(); }
+
  private:
   /// Cached planner inputs of one job.  Rebuilding a demand PMF costs
   /// O(PMF support) per job per pass; a container event leaves every other

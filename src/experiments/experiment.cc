@@ -82,7 +82,20 @@ RunResult run_experiment(const std::string& scheduler_name,
                       spec.priority);
     cluster.submit(std::move(spec));
   }
-  return cluster.run();
+  RunResult result = cluster.run();
+  if (const auto* rush = dynamic_cast<const RushScheduler*>(scheduler.get())) {
+    const PlanStats stats = rush->plan_stats();
+    result.plan_passes = stats.passes;
+    result.plan_warm_passes = stats.warm_passes;
+    result.plan_peel_probes = stats.peel_probes;
+    result.plan_warm_layers = stats.warm_layers;
+    result.plan_wcde_us = stats.wcde_us;
+    result.plan_peel_us = stats.peel_us;
+    result.plan_map_us = stats.map_us;
+    result.plan_wcde_cache_hits = stats.wcde_cache_hits;
+    result.plan_wcde_cache_misses = stats.wcde_cache_misses;
+  }
+  return result;
 }
 
 }  // namespace rush

@@ -41,6 +41,37 @@ struct TasJob {
   const UtilityFunction* utility = nullptr;
 };
 
+/// One layer of a previous pass's peel, used to warm-start the next pass.
+/// Consecutive replans differ by a single observation, so the layer's
+/// solution barely moves — but in the right coordinates.  Utility *levels*
+/// drift with every tick (the curves are functions of absolute time, so as
+/// `now` advances a fixed level buys less slack), while the layer's target
+/// *completion time* is an absolute quantity that stays put when demand and
+/// supply shrink together.  The hint therefore stores both: the completion
+/// time is re-priced through the job's utility curve at the next pass to
+/// recover a fresh level estimate, and the raw level is the fallback when
+/// re-pricing is impossible (zero-utility layers).  Slack-valued probes
+/// root-find from the estimate (Newton in deadline space, with false-
+/// position and bisection fallbacks), and the certified bracket then
+/// answers most of an exact replay of the cold k-section grid by
+/// monotonicity — so the warm layer reproduces the cold layer's level,
+/// deadline, and bottleneck bit-for-bit with a fraction of the probes
+/// (DESIGN.md §5d).
+struct PeelHintEntry {
+  /// Job peeled in this layer last pass.  A hint whose job is no longer
+  /// active (finished, or drained to zero demand) is skipped, re-aligning
+  /// the remaining hints with the surviving layers.
+  JobId id = kInvalidJob;
+  /// Utility level L_f the layer was peeled at.
+  Utility level = 0.0;
+  /// Absolute target completion time of the peeled job (< 0 when unknown).
+  Seconds completion = -1.0;
+};
+
+/// Per-layer hints in peel order (layer 0 first); `TasResult::hint` of one
+/// pass is the `OnionPeelingConfig::warm_hint` of the next.
+using PeelHint = std::vector<PeelHintEntry>;
+
 /// Per-job outcome of the peeling.
 struct TasTarget {
   JobId id = kInvalidJob;
@@ -80,6 +111,13 @@ struct OnionPeelingConfig {
   /// Optional worker pool for the per-round probes.  nullptr evaluates the
   /// same schedule serially with bit-identical results.  Not owned.
   ThreadPool* pool = nullptr;
+  /// Optional warm start from the previous pass's `TasResult::hint` (not
+  /// owned; may be nullptr for a cold search).  The hinted search only
+  /// *discovers* the bracket cheaply; the layer's final bracket always
+  /// comes from an exact replay of the cold k-section grid, so a warm peel
+  /// is bit-identical to the cold peel at any hint quality — a stale hint
+  /// costs probes, never accuracy.
+  const PeelHint* warm_hint = nullptr;
 };
 
 struct TasResult {
@@ -89,6 +127,14 @@ struct TasResult {
   Seconds horizon = 0.0;
   /// Number of bisection feasibility probes performed (benchmark aid).
   long probes = 0;
+  /// Per-layer (job, level) of this pass, in peel order — feed it back as
+  /// `OnionPeelingConfig::warm_hint` to warm-start the next pass.  Zero-
+  /// demand jobs peel without a search and are not recorded.
+  PeelHint hint;
+  /// Layers whose bracket collapsed within tolerance directly from the
+  /// warm hint's root-finding probes, leaving the grid replay almost
+  /// nothing to probe.
+  long warm_layers = 0;
 };
 
 /// Runs the onion peeling algorithm.
