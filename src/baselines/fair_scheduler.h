@@ -14,6 +14,9 @@ class FairScheduler final : public Scheduler {
  public:
   std::string name() const override { return "Fair"; }
   std::optional<JobId> assign_container(const ClusterView& view) override;
+  /// Batched seam: max-min handouts over local allocation counts — identical
+  /// grants to `count` per-container calls without copying the view.
+  std::vector<JobId> assign_containers(const ClusterView& view, int count) override;
 };
 
 }  // namespace rush

@@ -27,6 +27,10 @@ class RrhScheduler final : public Scheduler {
  public:
   std::string name() const override { return "RRH"; }
   std::optional<JobId> assign_container(const ClusterView& view) override;
+  /// Batched seam: re-scores per handout over local allocation counts (the
+  /// reward term depends on how many containers the job already won this
+  /// wave); static per-job terms are computed once for the wave.
+  std::vector<JobId> assign_containers(const ClusterView& view, int count) override;
   void on_task_finished(const ClusterView& view, JobId job, Seconds runtime,
                         bool is_reduce) override;
 

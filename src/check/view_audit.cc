@@ -1,0 +1,106 @@
+#include "src/check/view_audit.h"
+
+#include <string>
+
+namespace rush {
+
+namespace {
+
+std::string job_prefix(std::size_t slot, JobId id) {
+  return "slot " + std::to_string(slot) + " (job " + std::to_string(id) + ") ";
+}
+
+}  // namespace
+
+AuditReport audit_cluster_view(const ClusterView& incremental,
+                               const ClusterView& reference) {
+  AuditReport report("ClusterView");
+
+  report.check(incremental.now == reference.now, "now",
+               "incremental " + std::to_string(incremental.now) + " vs rebuilt " +
+                   std::to_string(reference.now));
+  report.check(incremental.capacity == reference.capacity, "capacity",
+               "incremental " + std::to_string(incremental.capacity) +
+                   " vs rebuilt " + std::to_string(reference.capacity));
+  report.check(incremental.free_containers == reference.free_containers,
+               "free_containers",
+               "incremental " + std::to_string(incremental.free_containers) +
+                   " vs rebuilt " + std::to_string(reference.free_containers));
+  report.check(incremental.jobs.size() == reference.jobs.size(), "job_count",
+               "incremental " + std::to_string(incremental.jobs.size()) +
+                   " vs rebuilt " + std::to_string(reference.jobs.size()));
+  if (incremental.jobs.size() != reference.jobs.size()) return report;
+
+  for (std::size_t s = 0; s < incremental.jobs.size(); ++s) {
+    const JobView& got = incremental.jobs[s];
+    const JobView& want = reference.jobs[s];
+    const std::string prefix = job_prefix(s, want.id);
+    report.check(got.id == want.id, "slot_id",
+                 prefix + "holds job " + std::to_string(got.id));
+    if (got.id != want.id) continue;  // field diffs would be meaningless
+    report.check(s == 0 || incremental.jobs[s - 1].id < got.id, "slot_order",
+                 prefix + "ids not strictly ascending");
+    report.check(got.arrival == want.arrival, "arrival", prefix + "arrival drifted");
+    report.check(got.budget_deadline == want.budget_deadline, "budget_deadline",
+                 prefix + "budget deadline drifted");
+    report.check(got.priority == want.priority, "priority", prefix + "priority drifted");
+    report.check(got.sensitivity == want.sensitivity, "sensitivity",
+                 prefix + "sensitivity drifted");
+    report.check(got.utility == want.utility, "utility",
+                 prefix + "utility pointer drifted");
+    report.check(got.total_tasks == want.total_tasks, "total_tasks",
+                 prefix + "incremental " + std::to_string(got.total_tasks) +
+                     " vs rebuilt " + std::to_string(want.total_tasks));
+    report.check(got.completed_tasks == want.completed_tasks, "completed_tasks",
+                 prefix + "incremental " + std::to_string(got.completed_tasks) +
+                     " vs rebuilt " + std::to_string(want.completed_tasks));
+    report.check(got.running_tasks == want.running_tasks, "running_tasks",
+                 prefix + "incremental " + std::to_string(got.running_tasks) +
+                     " vs rebuilt " + std::to_string(want.running_tasks));
+    report.check(got.remaining_maps == want.remaining_maps, "remaining_maps",
+                 prefix + "incremental " + std::to_string(got.remaining_maps) +
+                     " vs rebuilt " + std::to_string(want.remaining_maps));
+    report.check(got.remaining_reduces == want.remaining_reduces, "remaining_reduces",
+                 prefix + "incremental " + std::to_string(got.remaining_reduces) +
+                     " vs rebuilt " + std::to_string(want.remaining_reduces));
+    report.check(got.dispatchable_tasks == want.dispatchable_tasks,
+                 "dispatchable_tasks",
+                 prefix + "incremental " + std::to_string(got.dispatchable_tasks) +
+                     " vs rebuilt " + std::to_string(want.dispatchable_tasks));
+    report.check(got.failed_attempts == want.failed_attempts, "failed_attempts",
+                 prefix + "incremental " + std::to_string(got.failed_attempts) +
+                     " vs rebuilt " + std::to_string(want.failed_attempts));
+    report.check(got.runtime_samples == want.runtime_samples, "runtime_samples",
+                 prefix + "runtime-samples pointer drifted");
+  }
+
+  // Index consistency of the incremental view: every slot is reachable
+  // through its id, and every index entry points back at a matching slot.
+  for (std::size_t s = 0; s < incremental.jobs.size(); ++s) {
+    const JobId id = incremental.jobs[s].id;
+    const bool mapped =
+        id >= 0 && static_cast<std::size_t>(id) < incremental.id_to_index.size() &&
+        incremental.id_to_index[static_cast<std::size_t>(id)] ==
+            static_cast<std::int32_t>(s);
+    report.check(mapped, "index_of_slot",
+                 job_prefix(s, id) + "not reachable through id_to_index");
+  }
+  std::size_t mapped_slots = 0;
+  for (std::size_t id = 0; id < incremental.id_to_index.size(); ++id) {
+    const std::int32_t slot = incremental.id_to_index[id];
+    if (slot < 0) continue;
+    ++mapped_slots;
+    const bool valid = static_cast<std::size_t>(slot) < incremental.jobs.size() &&
+                       incremental.jobs[static_cast<std::size_t>(slot)].id ==
+                           static_cast<JobId>(id);
+    report.check(valid, "index_entry",
+                 "id " + std::to_string(id) + " maps to slot " + std::to_string(slot) +
+                     " which holds a different job");
+  }
+  report.check(mapped_slots == incremental.jobs.size(), "index_cardinality",
+               std::to_string(mapped_slots) + " mapped ids for " +
+                   std::to_string(incremental.jobs.size()) + " slots");
+  return report;
+}
+
+}  // namespace rush

@@ -1,0 +1,29 @@
+// View-coherence audit for the incrementally maintained ClusterView.
+//
+// The cluster keeps one persistent ClusterView updated in place from
+// per-job dirty bits instead of rebuilding it on every scheduler call
+// (DESIGN.md §5e).  This audit compares that incremental view against a
+// from-scratch rebuild: every scalar, every job slot field, the ascending-id
+// slot order, and the id -> index map must agree exactly.  It catches the
+// failure modes a from-scratch builder cannot have — a missed dirty mark, a
+// stale slot after a membership change, or an index left pointing at the
+// wrong slot after an insert/erase shift.
+//
+// Like the other audits it is a pure observer returning an AuditReport;
+// call throw_if_failed() on RUSH_DCHECK paths.
+
+#pragma once
+
+#include "src/check/audit_report.h"
+#include "src/cluster/scheduler.h"
+
+namespace rush {
+
+/// Compares the incrementally maintained view against a freshly rebuilt
+/// reference.  `reference` is expected to come from a from-scratch builder
+/// and may leave its own id_to_index empty; the incremental view's map is
+/// checked for internal consistency against its slots.
+AuditReport audit_cluster_view(const ClusterView& incremental,
+                               const ClusterView& reference);
+
+}  // namespace rush

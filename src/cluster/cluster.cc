@@ -1,11 +1,40 @@
 #include "src/cluster/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "src/check/view_audit.h"
 #include "src/common/error.h"
 #include "src/common/logging.h"
 
 namespace rush {
+
+namespace {
+
+/// Accumulates wall time of a scheduler-seam section into `sink` when the
+/// cluster's seam profiler is enabled; a no-op otherwise.
+class SeamTimer {
+ public:
+  SeamTimer(bool enabled, double& sink) : enabled_(enabled), sink_(sink) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+  SeamTimer(const SeamTimer&) = delete;
+  SeamTimer& operator=(const SeamTimer&) = delete;
+  ~SeamTimer() {
+    if (enabled_) {
+      sink_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+              .count();
+    }
+  }
+
+ private:
+  bool enabled_;
+  double& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 int Cluster::ActiveJob::dispatchable() const {
   if (!arrived || finished) return 0;
@@ -63,6 +92,17 @@ RunResult Cluster::run() {
   require(!ran_, "Cluster::run: cluster already ran");
   ran_ = true;
 
+  view_ = ClusterView{};
+  view_.capacity = capacity_;
+  view_.id_to_index.assign(jobs_.size(), -1);
+  view_.jobs.reserve(jobs_.size());
+  view_dirty_.assign(jobs_.size(), 0);
+  dirty_jobs_.clear();
+  dispatchable_total_ = 0;
+  if (config_.batched_dispatch) {
+    sim_.set_wave_end([this] { flush_dispatch(); });
+  }
+
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
     sim_.schedule_at(jobs_[i].spec.arrival, [this, i] { handle_arrival(i); });
   }
@@ -74,6 +114,10 @@ RunResult Cluster::run() {
   result.task_failures = task_failures_;
   result.speculative_attempts = speculative_attempts_;
   result.speculative_kills = speculative_kills_;
+  result.dispatch_waves = dispatch_waves_;
+  result.view_updates = view_updates_;
+  result.full_views_built = full_views_built_;
+  result.seam_seconds = seam_seconds_;
   for (const ActiveJob& job : jobs_) {
     JobRecord record;
     record.id = job.id;
@@ -94,14 +138,24 @@ RunResult Cluster::run() {
 }
 
 void Cluster::handle_arrival(std::size_t job_index) {
-  jobs_[job_index].arrived = true;
+  // A completion earlier in this timestamp batch may have its dispatch wave
+  // still pending; the per-container seam serves it before the arrival, so
+  // flush first to keep event order identical.
+  flush_dispatch();
+  ActiveJob& job = jobs_[job_index];
+  job.arrived = true;
+  dispatchable_total_ += job.dispatchable();
+  mark_view_dirty(job_index);
   ++scheduling_events_;
   if (observer_ != nullptr) {
-    observer_->on_job_arrival(sim_.now(), jobs_[job_index].id,
-                              jobs_[job_index].spec.name);
+    observer_->on_job_arrival(sim_.now(), job.id, job.spec.name);
   }
-  scheduler_.on_job_arrival(make_view(), jobs_[job_index].id);
-  dispatch();
+  {
+    SeamTimer timer(config_.profile_seam, seam_seconds_);
+    ClusterView storage;
+    scheduler_.on_job_arrival(notification_view(storage), job.id);
+  }
+  request_dispatch(/*flush=*/true);
 }
 
 void Cluster::release_container(std::size_t container_index) {
@@ -131,6 +185,7 @@ void Cluster::handle_attempt_finished(std::uint64_t attempt_id, Seconds runtime)
   ActiveJob& job = jobs_[attempt.job_index];
   release_container(attempt.container_index);
   --job.running;
+  mark_view_dirty(attempt.job_index);
 
   if (job.task_done(attempt.task_index, attempt.is_reduce)) {
     // A sibling won while this event was in flight (only possible in the
@@ -140,10 +195,11 @@ void Cluster::handle_attempt_finished(std::uint64_t attempt_id, Seconds runtime)
       observer_->on_task_killed(sim_.now(), job.id,
                                 static_cast<int>(attempt.container_index));
     }
-    dispatch();
+    request_dispatch(/*flush=*/false);
     return;
   }
 
+  const int dispatchable_before = job.dispatchable();
   (attempt.is_reduce ? job.reduce_done
                      : job.map_done)[static_cast<std::size_t>(attempt.task_index)] = 1;
   ++job.completed;
@@ -188,11 +244,16 @@ void Cluster::handle_attempt_finished(std::uint64_t attempt_id, Seconds runtime)
       observer_->on_job_finish(sim_.now(), job.id, job.utility->value(job.completion));
     }
   }
+  dispatchable_total_ += job.dispatchable() - dispatchable_before;
 
-  const ClusterView view = make_view();
-  scheduler_.on_task_finished(view, job.id, runtime, attempt.is_reduce);
-  if (job_done) scheduler_.on_job_finished(view, job.id);
-  dispatch();
+  {
+    SeamTimer timer(config_.profile_seam, seam_seconds_);
+    ClusterView storage;
+    const ClusterView& view = notification_view(storage);
+    scheduler_.on_task_finished(view, job.id, runtime, attempt.is_reduce);
+    if (job_done) scheduler_.on_job_finished(view, job.id);
+  }
+  request_dispatch(/*flush=*/false);
 }
 
 void Cluster::handle_attempt_failed(std::uint64_t attempt_id, Seconds wasted) {
@@ -205,6 +266,7 @@ void Cluster::handle_attempt_failed(std::uint64_t attempt_id, Seconds wasted) {
   ActiveJob& job = jobs_[attempt.job_index];
   release_container(attempt.container_index);
   --job.running;
+  const int dispatchable_before = job.dispatchable();
   ++job.failures;
   ++task_failures_;
   ++scheduling_events_;
@@ -216,29 +278,64 @@ void Cluster::handle_attempt_failed(std::uint64_t attempt_id, Seconds wasted) {
     (attempt.is_reduce ? job.pending_reduces : job.pending_maps)
         .push_back(attempt.task_index);
   }
+  dispatchable_total_ += job.dispatchable() - dispatchable_before;
+  mark_view_dirty(attempt.job_index);
   RUSH_LOG(kDebug) << "task of job " << job.id << " failed after " << wasted << "s";
   if (observer_ != nullptr) {
     observer_->on_task_failure(sim_.now(), job.id,
                                static_cast<int>(attempt.container_index), wasted);
   }
-  scheduler_.on_task_failed(make_view(), job.id, wasted);
+  {
+    SeamTimer timer(config_.profile_seam, seam_seconds_);
+    ClusterView storage;
+    scheduler_.on_task_failed(notification_view(storage), job.id, wasted);
+  }
+  request_dispatch(/*flush=*/false);
+}
+
+void Cluster::request_dispatch(bool flush) {
+  if (!config_.batched_dispatch) {
+    dispatch();
+    return;
+  }
+  dispatch_pending_ = true;
+  if (flush) flush_dispatch();
+}
+
+void Cluster::flush_dispatch() {
+  if (!dispatch_pending_) return;
+  dispatch_pending_ = false;
   dispatch();
 }
 
 void Cluster::dispatch() {
-  while (!free_containers_.empty()) {
-    // Anything dispatchable at all?  (Avoids querying the scheduler when
-    // every remaining task is blocked or running.)
-    bool any = false;
-    for (const ActiveJob& job : jobs_) {
-      if (job.dispatchable() > 0) {
-        any = true;
-        break;
-      }
-    }
-    if (!any) break;
+  ++dispatch_waves_;
+  if (config_.batched_dispatch) {
+    dispatch_batched();
+  } else {
+    dispatch_per_container();
+  }
+  if (config_.enable_speculation) launch_speculative_backups();
+}
 
-    const std::optional<JobId> choice = scheduler_.assign_container(make_view());
+void Cluster::dispatch_per_container() {
+  // The seed seam, preserved verbatim: a from-scratch ClusterView and an
+  // O(jobs) "anything dispatchable?" rescan per free container.
+  while (!free_containers_.empty()) {
+    std::optional<JobId> choice;
+    {
+      SeamTimer timer(config_.profile_seam, seam_seconds_);
+      bool any = false;
+      for (const ActiveJob& job : jobs_) {
+        if (job.dispatchable() > 0) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) break;
+      ++full_views_built_;
+      choice = scheduler_.assign_container(make_view());
+    }
     if (!choice.has_value()) break;  // scheduler deliberately leaves it idle
     const JobId id = *choice;
     require(id >= 0 && static_cast<std::size_t>(id) < jobs_.size(),
@@ -253,8 +350,36 @@ void Cluster::dispatch() {
     ensure(launched, "launch_task failed for dispatchable job");
     ++assignments_;
   }
+}
 
-  if (config_.enable_speculation) launch_speculative_backups();
+void Cluster::dispatch_batched() {
+  // All free containers are offered in one batched call against the
+  // incremental view.  No simulation events can intervene between the
+  // handouts of a wave (launches only schedule strictly-future events), so
+  // the batch is provably identical to the per-container loop; the
+  // differential seam tests pin that bit-for-bit.
+  while (!free_containers_.empty() && dispatchable_total_ > 0) {
+    const int free_count = static_cast<int>(free_containers_.size());
+    std::vector<JobId> grants;
+    {
+      SeamTimer timer(config_.profile_seam, seam_seconds_);
+      grants = scheduler_.assign_containers(current_view(), free_count);
+    }
+    if (grants.empty()) break;  // scheduler deliberately idles the wave
+    for (const JobId id : grants) {
+      require(id >= 0 && static_cast<std::size_t>(id) < jobs_.size(),
+              "Scheduler returned unknown job id");
+      const auto job_index = static_cast<std::size_t>(id);
+      require(jobs_[job_index].dispatchable() > 0,
+              "Scheduler chose a job with no dispatchable task");
+      const std::size_t container_index = free_containers_.back();
+      free_containers_.pop_back();
+      const bool launched = launch_task(job_index, container_index);
+      ensure(launched, "launch_task failed for dispatchable job");
+      ++assignments_;
+    }
+    if (static_cast<int>(grants.size()) < free_count) break;  // rest left idle
+  }
 }
 
 void Cluster::launch_speculative_backups() {
@@ -294,6 +419,7 @@ void Cluster::launch_speculative_backups() {
 
 bool Cluster::launch_task(std::size_t job_index, std::size_t container_index) {
   ActiveJob& job = jobs_[job_index];
+  const int dispatchable_before = job.dispatchable();
   int task_index = -1;
   bool is_reduce = false;
   if (!job.pending_maps.empty()) {
@@ -307,6 +433,8 @@ bool Cluster::launch_task(std::size_t job_index, std::size_t container_index) {
     release_container(container_index);
     return false;
   }
+  dispatchable_total_ += job.dispatchable() - dispatchable_before;
+  mark_view_dirty(job_index);
   start_attempt(job_index, task_index, is_reduce, container_index);
   return true;
 }
@@ -320,6 +448,7 @@ void Cluster::start_attempt(std::size_t job_index, int task_index, bool is_reduc
   Container& container = containers_[container_index];
   container.busy = true;
   ++job.running;
+  mark_view_dirty(job_index);
   const double noise = config_.runtime_noise_sigma > 0.0
                            ? rng_.lognormal_noise(config_.runtime_noise_sigma)
                            : 1.0;
@@ -349,6 +478,91 @@ void Cluster::start_attempt(std::size_t job_index, int task_index, bool is_reduc
   });
 }
 
+void Cluster::fill_job_view(const ActiveJob& job, JobView& view) const {
+  view.id = job.id;
+  view.arrival = job.spec.arrival;
+  view.budget_deadline = job.spec.arrival + job.spec.budget;
+  view.priority = job.spec.priority;
+  view.sensitivity = job.spec.sensitivity;
+  view.utility = job.utility.get();
+  view.total_tasks = job.total_tasks();
+  view.completed_tasks = job.completed;
+  view.running_tasks = job.running;
+  view.dispatchable_tasks = job.dispatchable();
+  view.remaining_maps = job.maps_total - job.maps_completed;
+  view.remaining_reduces =
+      static_cast<int>(job.reduces.size()) - (job.completed - job.maps_completed);
+  view.failed_attempts = job.failures;
+  view.runtime_samples = &job.runtime_samples;
+}
+
+void Cluster::mark_view_dirty(std::size_t job_index) {
+  if (view_dirty_.empty() || view_dirty_[job_index] != 0) return;
+  view_dirty_[job_index] = 1;
+  dirty_jobs_.push_back(job_index);
+}
+
+void Cluster::refresh_job_slot(std::size_t job_index) {
+  const ActiveJob& job = jobs_[job_index];
+  std::vector<std::int32_t>& index = view_.id_to_index;
+  std::int32_t slot = index[static_cast<std::size_t>(job.id)];
+  const bool member = job.arrived && !job.finished;
+  if (!member) {
+    if (slot >= 0) {
+      view_.jobs.erase(view_.jobs.begin() + slot);
+      index[static_cast<std::size_t>(job.id)] = -1;
+      for (std::size_t s = static_cast<std::size_t>(slot); s < view_.jobs.size(); ++s) {
+        index[static_cast<std::size_t>(view_.jobs[s].id)] = static_cast<std::int32_t>(s);
+      }
+    }
+    return;
+  }
+  if (slot < 0) {
+    // Arrival order need not match id order; insert at the position that
+    // keeps slots ascending by id (ids are dense, so this happens once per
+    // job and shifts only later-id slots).
+    const auto pos_it =
+        std::lower_bound(view_.jobs.begin(), view_.jobs.end(), job.id,
+                         [](const JobView& v, JobId id) { return v.id < id; });
+    const auto pos = static_cast<std::size_t>(pos_it - view_.jobs.begin());
+    view_.jobs.insert(pos_it, JobView{});
+    for (std::size_t s = pos + 1; s < view_.jobs.size(); ++s) {
+      index[static_cast<std::size_t>(view_.jobs[s].id)] = static_cast<std::int32_t>(s);
+    }
+    index[static_cast<std::size_t>(job.id)] = static_cast<std::int32_t>(pos);
+    slot = static_cast<std::int32_t>(pos);
+  }
+  fill_job_view(job, view_.jobs[static_cast<std::size_t>(slot)]);
+}
+
+const ClusterView& Cluster::current_view() {
+  view_.now = sim_.now();
+  view_.free_containers = static_cast<ContainerCount>(free_containers_.size());
+  if (!dirty_jobs_.empty()) {
+    ++view_updates_;
+    for (const std::size_t job_index : dirty_jobs_) {
+      view_dirty_[job_index] = 0;
+      refresh_job_slot(job_index);
+    }
+    dirty_jobs_.clear();
+  }
+  if (config_.audit_incremental_view) {
+    long total = 0;
+    for (const ActiveJob& job : jobs_) total += job.dispatchable();
+    ensure(total == dispatchable_total_,
+           "Cluster: maintained dispatchable-task counter drifted");
+    audit_cluster_view(view_, make_view()).throw_if_failed();
+  }
+  return view_;
+}
+
+const ClusterView& Cluster::notification_view(ClusterView& storage) {
+  if (config_.batched_dispatch) return current_view();
+  ++full_views_built_;
+  storage = make_view();
+  return storage;
+}
+
 ClusterView Cluster::make_view() const {
   ClusterView view;
   view.now = sim_.now();
@@ -357,21 +571,7 @@ ClusterView Cluster::make_view() const {
   for (const ActiveJob& job : jobs_) {
     if (!job.arrived || job.finished) continue;
     JobView jv;
-    jv.id = job.id;
-    jv.arrival = job.spec.arrival;
-    jv.budget_deadline = job.spec.arrival + job.spec.budget;
-    jv.priority = job.spec.priority;
-    jv.sensitivity = job.spec.sensitivity;
-    jv.utility = job.utility.get();
-    jv.total_tasks = job.total_tasks();
-    jv.completed_tasks = job.completed;
-    jv.running_tasks = job.running;
-    jv.dispatchable_tasks = job.dispatchable();
-    jv.remaining_maps = job.maps_total - job.maps_completed;
-    jv.remaining_reduces =
-        static_cast<int>(job.reduces.size()) - (job.completed - job.maps_completed);
-    jv.failed_attempts = job.failures;
-    jv.runtime_samples = &job.runtime_samples;
+    fill_job_view(job, jv);
     view.jobs.push_back(jv);
   }
   return view;

@@ -3,11 +3,15 @@
 //
 // Containers are homogeneous scheduling units spread over heterogeneous-
 // speed nodes.  A scheduling event fires whenever a job arrives or a task
-// attempt completes/fails; the installed Scheduler is then offered each
-// free container in turn, exactly like YARN's ResourceManager offering
-// heartbeat allocations.  Task runtimes are nominal * node speed *
-// lognormal noise, sampled when the attempt starts — the scheduler only
-// ever observes completed runtimes.
+// attempt completes/fails; the installed Scheduler is then offered the free
+// containers, like YARN's ResourceManager offering heartbeat allocations.
+// Under the default batched seam all free containers of an event wave are
+// offered in one assign_containers() call against a single incrementally
+// maintained ClusterView; ClusterConfig::batched_dispatch = false restores
+// the seed's per-container seam (a from-scratch view per scheduler call),
+// kept as the bit-exact differential reference.  Task runtimes are
+// nominal * node speed * lognormal noise, sampled when the attempt starts —
+// the scheduler only ever observes completed runtimes.
 //
 // Optional framework features (both uncertainty sources RUSH must absorb):
 //  - task failure injection: attempts die mid-run and re-queue their task,
@@ -24,6 +28,7 @@
 #include "src/cluster/job.h"
 #include "src/cluster/node.h"
 #include "src/cluster/scheduler.h"
+#include "src/common/error.h"
 #include "src/common/rng.h"
 #include "src/sim/simulator.h"
 
@@ -51,6 +56,22 @@ struct ClusterConfig {
   std::uint64_t seed = 1;
   /// Hard stop for the simulation clock (safety net).
   Seconds max_time = 1e9;
+  /// Scheduler seam (DESIGN.md §5e).  True (default): one incrementally
+  /// maintained ClusterView, all free containers handed out in a single
+  /// assign_containers() batch per event wave, and same-timestamp
+  /// completion events coalesced into one dispatch wave.  False: the
+  /// legacy seed seam — a from-scratch view per scheduler call and one
+  /// assign_container() call per free container — kept as the bit-exact
+  /// reference for differential tests and the dispatch-overhead bench.
+  bool batched_dispatch = true;
+  /// Audits the incremental view against a from-scratch rebuild on every
+  /// refresh (src/check/view_audit).  Defaults to on in RUSH_DCHECK builds;
+  /// tests force it on regardless of build type.
+  bool audit_incremental_view = kDcheckEnabled;
+  /// Accumulates the wall time of scheduler-seam work (view construction /
+  /// refresh, scheduler notifications and assignment calls) into
+  /// RunResult::seam_seconds — the dispatch_overhead bench's measurement.
+  bool profile_seam = false;
 };
 
 /// Aggregate outcome of one run.
@@ -84,6 +105,19 @@ struct RunResult {
   double plan_map_us = 0.0;
   long plan_wcde_cache_hits = 0;
   long plan_wcde_cache_misses = 0;
+
+  /// Scheduler-seam accounting (DESIGN.md §5e).  `dispatch_waves` counts
+  /// dispatch rounds; `view_updates` counts incremental refresh passes over
+  /// the dirty-job set (batched seam — at most one per wave);
+  /// `full_views_built` counts from-scratch ClusterView constructions on
+  /// the scheduler path (legacy seam — one per notification plus one per
+  /// free-container handout; exactly 0 under the batched seam).
+  long dispatch_waves = 0;
+  long view_updates = 0;
+  long full_views_built = 0;
+  /// Wall time of scheduler-seam work; populated when
+  /// ClusterConfig::profile_seam is set, 0 otherwise.
+  double seam_seconds = 0.0;
 };
 
 /// Passive observer of cluster execution (tracing, statistics).  All hooks
@@ -173,8 +207,34 @@ class Cluster {
   void handle_attempt_finished(std::uint64_t attempt_id, Seconds runtime);
   void handle_attempt_failed(std::uint64_t attempt_id, Seconds wasted);
   void dispatch();
+  /// Legacy seed seam: one from-scratch view + one assign_container() call
+  /// per free container.
+  void dispatch_per_container();
+  /// Batched seam: all free containers offered in one assign_containers()
+  /// call against the incremental view.
+  void dispatch_batched();
+  /// Marks a dispatch wave due.  Legacy seam: dispatches immediately.
+  /// Batched seam: defers to the simulator's wave-end hook so
+  /// same-timestamp completion events coalesce into one wave; `flush`
+  /// forces the wave now (arrivals, which the seed seam serves in event
+  /// order).
+  void request_dispatch(bool flush);
+  void flush_dispatch();
   void launch_speculative_backups();
   ClusterView make_view() const;
+  /// Copies one job's observable state into a JobView slot.
+  void fill_job_view(const ActiveJob& job, JobView& view) const;
+  /// Flags a job's view slot as stale; refreshed on next current_view().
+  void mark_view_dirty(std::size_t job_index);
+  /// Re-syncs one job's slot in the incremental view, inserting or erasing
+  /// the slot on membership changes (arrival / completion).
+  void refresh_job_slot(std::size_t job_index);
+  /// The persistent incremental view: syncs scalars, refreshes dirty slots,
+  /// audits against a from-scratch rebuild when configured.
+  const ClusterView& current_view();
+  /// View handed to notification hooks: the incremental view (batched seam)
+  /// or a from-scratch snapshot built into `storage` (legacy seam).
+  const ClusterView& notification_view(ClusterView& storage);
   /// Starts the next pending task of the job on the container; returns
   /// false when the job has nothing dispatchable.
   bool launch_task(std::size_t job_index, std::size_t container_index);
@@ -204,6 +264,19 @@ class Cluster {
   long speculative_kills_ = 0;
   int unfinished_ = 0;
   bool ran_ = false;
+
+  /// Persistent incremental view (batched seam) + per-job dirty bits.
+  ClusterView view_;
+  std::vector<char> view_dirty_;
+  std::vector<std::size_t> dirty_jobs_;
+  /// Maintained sum of dispatchable() over all jobs — replaces the
+  /// O(jobs)-per-container "anything dispatchable?" rescan.
+  long dispatchable_total_ = 0;
+  bool dispatch_pending_ = false;
+  long dispatch_waves_ = 0;
+  long view_updates_ = 0;
+  long full_views_built_ = 0;
+  double seam_seconds_ = 0.0;
 };
 
 }  // namespace rush

@@ -1,0 +1,72 @@
+#include "src/cluster/scheduler.h"
+
+#include "src/common/error.h"
+
+namespace rush {
+
+namespace {
+
+// Bounds-checked lookup through the dense id -> index map; -2 means the map
+// is absent and the caller should fall back to the linear scan.
+std::int32_t slot_of(const std::vector<std::int32_t>& id_to_index, JobId id) {
+  if (id_to_index.empty()) return -2;
+  if (id < 0 || static_cast<std::size_t>(id) >= id_to_index.size()) return -1;
+  return id_to_index[static_cast<std::size_t>(id)];
+}
+
+}  // namespace
+
+const JobView* ClusterView::find(JobId id) const {
+  const std::int32_t slot = slot_of(id_to_index, id);
+  if (slot >= 0) return &jobs[static_cast<std::size_t>(slot)];
+  if (slot == -1) return nullptr;
+  for (const JobView& j : jobs) {
+    if (j.id == id) return &j;
+  }
+  return nullptr;
+}
+
+JobView* ClusterView::find_mutable(JobId id) {
+  const std::int32_t slot = slot_of(id_to_index, id);
+  if (slot >= 0) return &jobs[static_cast<std::size_t>(slot)];
+  if (slot == -1) return nullptr;
+  for (JobView& j : jobs) {
+    if (j.id == id) return &j;
+  }
+  return nullptr;
+}
+
+std::vector<JobId> Scheduler::assign_containers(const ClusterView& view, int count) {
+  std::vector<JobId> grants;
+  if (count <= 0) return grants;
+  grants.reserve(static_cast<std::size_t>(count));
+
+  // One scratch copy per wave.  Each single-container decision must see the
+  // state the per-container loop would: the chosen job holds one more
+  // container, has one fewer dispatchable task, and the free pool shrank.
+  ClusterView scratch = view;
+  for (int c = 0; c < count; ++c) {
+    bool any_dispatchable = false;
+    for (const JobView& j : scratch.jobs) {
+      if (j.dispatchable_tasks > 0) {
+        any_dispatchable = true;
+        break;
+      }
+    }
+    if (!any_dispatchable) break;
+
+    const std::optional<JobId> choice = assign_container(scratch);
+    if (!choice.has_value()) break;  // scheduler deliberately idles the rest
+    JobView* jv = scratch.find_mutable(*choice);
+    require(jv != nullptr, "Scheduler returned unknown job id");
+    require(jv->dispatchable_tasks > 0,
+            "Scheduler chose a job with no dispatchable task");
+    ++jv->running_tasks;
+    --jv->dispatchable_tasks;
+    --scratch.free_containers;
+    grants.push_back(*choice);
+  }
+  return grants;
+}
+
+}  // namespace rush

@@ -2,14 +2,20 @@
 // plug into the cluster, mirroring how a YARN scheduler plugs into the
 // ResourceManager.
 //
-// The cluster calls assign_container() once per free container whenever a
-// scheduling event fires (job arrival or task completion); the scheduler
-// sees only what YARN would expose: job metadata, task counts and
-// completed-task runtime samples.  Nominal task runtimes are deliberately
-// NOT visible — runtimes must be learned, which is the paper's whole point.
+// On every scheduling event (job arrival or task completion) the cluster
+// hands the scheduler a read-only ClusterView and asks it to place the free
+// containers.  The batched entry point assign_containers() receives all
+// free containers of the event wave at once; the base class adapts it onto
+// the classic one-container-at-a-time assign_container() virtual, so a
+// scheduler only has to implement whichever form is natural.  Either way
+// the scheduler sees only what YARN would expose: job metadata, task counts
+// and completed-task runtime samples.  Nominal task runtimes are
+// deliberately NOT visible — runtimes must be learned, which is the paper's
+// whole point.
 
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,20 +55,22 @@ struct JobView {
   int remaining_tasks() const { return total_tasks - completed_tasks; }
 };
 
-/// Read-only cluster snapshot.
+/// Read-only cluster snapshot.  The cluster maintains one instance
+/// incrementally (stable slots sorted by ascending job id, refreshed in
+/// place from per-job dirty bits) instead of rebuilding it per call.
 struct ClusterView {
   Seconds now = 0.0;
   ContainerCount capacity = 0;
   ContainerCount free_containers = 0;
-  /// Jobs that have arrived and are not yet complete.
+  /// Jobs that have arrived and are not yet complete, ascending id order.
   std::vector<JobView> jobs;
+  /// Dense id -> index into `jobs` (-1 = not present), maintained by the
+  /// cluster alongside the slots.  Hand-built views (tests) may leave it
+  /// empty, in which case find() falls back to the linear scan.
+  std::vector<std::int32_t> id_to_index;
 
-  const JobView* find(JobId id) const {
-    for (const JobView& j : jobs) {
-      if (j.id == id) return &j;
-    }
-    return nullptr;
-  }
+  const JobView* find(JobId id) const;
+  JobView* find_mutable(JobId id);
 };
 
 class Scheduler {
@@ -75,6 +83,16 @@ class Scheduler {
   /// Chooses the job that receives the next free container, or nullopt to
   /// leave it idle.  The chosen job must have dispatchable_tasks > 0.
   virtual std::optional<JobId> assign_container(const ClusterView& view) = 0;
+
+  /// Places up to `count` free containers in one call and returns the
+  /// receiving job ids in handout order (possibly fewer than `count` when
+  /// the scheduler leaves the rest idle).  The base implementation loops
+  /// assign_container() over a scratch copy of the view whose running /
+  /// dispatchable counts evolve exactly as the cluster's would — no events
+  /// intervene between the handouts of one wave, so the batch is identical
+  /// to the per-container loop.  Schedulers may override it to compute the
+  /// whole batch from a single planning pass.
+  virtual std::vector<JobId> assign_containers(const ClusterView& view, int count);
 
   /// Notification hooks (default: ignore).
   virtual void on_job_arrival(const ClusterView& /*view*/, JobId /*job*/) {}

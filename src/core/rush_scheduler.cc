@@ -49,6 +49,7 @@ void RushScheduler::on_task_finished(const ClusterView& /*view*/, JobId job,
     it->second.observe(runtime, is_reduce);
   }
   global_runtimes_.add(runtime);
+  stale_snapshots_.insert(job);
   plan_dirty_ = true;
 }
 
@@ -63,10 +64,37 @@ void RushScheduler::on_job_finished(const ClusterView& /*view*/, JobId job) {
   estimators_.erase(job);
   phase_estimators_.erase(job);
   demand_snapshots_.erase(job);
+  stale_snapshots_.erase(job);
   plan_dirty_ = true;
 }
 
 const RushScheduler::DemandSnapshot& RushScheduler::snapshot_for(const JobView& jv) {
+  // Fast path: a job not in the stale set cannot have new samples or changed
+  // remaining-task counts (on_task_finished is the only hook that moves
+  // either key), so its cached snapshot is reusable without touching the
+  // estimator at all.  The DCHECK below proves the set is exact by
+  // re-deriving the seed freshness keys.
+  {
+    const auto cached = demand_snapshots_.find(jv.id);
+    if (cached != demand_snapshots_.end() && cached->second.demand != nullptr &&
+        stale_snapshots_.count(jv.id) == 0) {
+      if constexpr (kDcheckEnabled) {
+        const auto check_it = config_.phase_aware_estimation
+                                  ? phase_estimators_.find(jv.id)
+                                  : phase_estimators_.end();
+        const std::size_t check_samples = check_it != phase_estimators_.end()
+                                              ? check_it->second.sample_count()
+                                              : estimator_for(jv.id).sample_count();
+        RUSH_DCHECK(cached->second.samples == check_samples,
+                    "RushScheduler: stale-snapshot set missed a new sample");
+        RUSH_DCHECK(cached->second.remaining_maps == jv.remaining_maps &&
+                        cached->second.remaining_reduces == jv.remaining_reduces,
+                    "RushScheduler: stale-snapshot set missed a demand change");
+      }
+      return cached->second;
+    }
+  }
+
   const auto phase_it = config_.phase_aware_estimation ? phase_estimators_.find(jv.id)
                                                        : phase_estimators_.end();
   const bool phase_aware = phase_it != phase_estimators_.end();
@@ -93,6 +121,7 @@ const RushScheduler::DemandSnapshot& RushScheduler::snapshot_for(const JobView& 
     snapshot.remaining_maps = jv.remaining_maps;
     snapshot.remaining_reduces = jv.remaining_reduces;
   }
+  stale_snapshots_.erase(jv.id);
   return snapshot;
 }
 
@@ -155,6 +184,56 @@ std::optional<JobId> RushScheduler::assign_container(const ClusterView& view) {
   }
   if (best_view == nullptr) return std::nullopt;
   return best_view->id;
+}
+
+std::vector<JobId> RushScheduler::assign_containers(const ClusterView& view,
+                                                    int count) {
+  std::vector<JobId> grants;
+  if (count <= 0) return grants;
+  grants.reserve(static_cast<std::size_t>(count));
+  if (plan_dirty_ || plan_.computed_at != view.now) rebuild_plan(view);
+
+  // One gap-rule pass per handout, against local allocation counts.  The
+  // per-container seam would see the same plan on every call of the wave
+  // (nothing marks it dirty between handouts and view.now is fixed), and a
+  // launch changes exactly running+1 / dispatchable-1 of the granted job, so
+  // this loop reproduces its grant sequence bit-for-bit — including the
+  // first-encountered-wins null-entry tie-break, which depends on the
+  // view's ascending-id job order.
+  const std::size_t n = view.jobs.size();
+  std::vector<int> running(n);
+  std::vector<int> dispatchable(n);
+  std::vector<const PlanEntry*> entries(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    running[j] = view.jobs[j].running_tasks;
+    dispatchable[j] = view.jobs[j].dispatchable_tasks;
+    entries[j] = plan_.find(view.jobs[j].id);
+  }
+  for (int c = 0; c < count; ++c) {
+    const PlanEntry* best_entry = nullptr;
+    std::size_t best = n;
+    int best_gap = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (dispatchable[j] <= 0) continue;
+      const PlanEntry* entry = entries[j];
+      const int desired = entry != nullptr ? entry->desired_containers : 1;
+      const int gap = desired - running[j];
+      const bool better =
+          best == n || gap > best_gap ||
+          (gap == best_gap && entry != nullptr && best_entry != nullptr &&
+           entry->target_completion < best_entry->target_completion);
+      if (better) {
+        best_entry = entry;
+        best = j;
+        best_gap = gap;
+      }
+    }
+    if (best == n) break;
+    ++running[best];
+    --dispatchable[best];
+    grants.push_back(view.jobs[best].id);
+  }
+  return grants;
 }
 
 }  // namespace rush

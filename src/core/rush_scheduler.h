@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/cluster/scheduler.h"
 #include "src/core/rush_planner.h"
@@ -31,6 +32,10 @@ class RushScheduler final : public Scheduler {
 
   std::string name() const override { return "RUSH"; }
   std::optional<JobId> assign_container(const ClusterView& view) override;
+  /// Batched seam: plans once for the wave, then applies the gap rule
+  /// iteratively over local allocation counts — identical grants to `count`
+  /// consecutive assign_container() calls, without re-entering the planner.
+  std::vector<JobId> assign_containers(const ClusterView& view, int count) override;
   void on_job_arrival(const ClusterView& view, JobId job) override;
   void on_task_finished(const ClusterView& view, JobId job, Seconds runtime,
                         bool is_reduce) override;
@@ -79,6 +84,13 @@ class RushScheduler final : public Scheduler {
   /// config_.phase_aware_estimation is set.
   std::unordered_map<JobId, PhaseAwareEstimator> phase_estimators_;
   std::unordered_map<JobId, DemandSnapshot> demand_snapshots_;
+  /// Jobs whose cached DemandSnapshot no longer matches their estimator.
+  /// Staleness arises only through on_task_finished (the one hook that adds
+  /// a sample and shrinks the remaining-task counts; failures re-queue a
+  /// pending task and change neither key), so membership here is exact —
+  /// snapshot_for() skips even the estimator lookup for non-members, making
+  /// a replan O(jobs with new samples) estimator work instead of O(jobs).
+  std::unordered_set<JobId> stale_snapshots_;
   OnlineStats global_runtimes_;
   Plan plan_;
   bool plan_dirty_ = true;

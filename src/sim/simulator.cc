@@ -26,6 +26,9 @@ std::size_t Simulator::run(Seconds max_time) {
     now_ = event.at;
     event.callback();
     ++executed;
+    // The callback may have scheduled more events at exactly now(); the wave
+    // ends only when the next queued event is strictly later (or absent).
+    if (wave_end_ && (queue_.empty() || queue_.top().at > now_)) wave_end_();
   }
   return executed;
 }

@@ -3,7 +3,9 @@
 // A minimal, deterministic event loop: callbacks are scheduled at absolute
 // times and executed in time order, with FIFO ordering among events that
 // share a timestamp (sequence numbers break ties, so runs are exactly
-// reproducible).
+// reproducible).  An optional wave-end hook fires once after the last event
+// of each timestamp batch, letting clients coalesce same-timestamp events
+// into a single reaction (the cluster's batched dispatch wave).
 
 #pragma once
 
@@ -33,6 +35,12 @@ class Simulator {
   /// Returns the number of events executed.
   std::size_t run(Seconds max_time = kNever);
 
+  /// Installs a hook invoked by run() after the last executed event of each
+  /// timestamp batch (i.e. when no further queued event shares now()).  The
+  /// hook may schedule new events; events it adds at exactly now() extend
+  /// the current batch.  Pass nullptr to clear.
+  void set_wave_end(Callback hook) { wave_end_ = std::move(hook); }
+
   /// Number of events currently queued.
   std::size_t pending() const { return queue_.size(); }
 
@@ -56,6 +64,7 @@ class Simulator {
   Seconds now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Callback wave_end_;
 };
 
 }  // namespace rush
