@@ -38,13 +38,13 @@ std::atomic<std::size_t> g_allocated{0};
 void* operator new(std::size_t size) {
   g_allocated.fetch_add(size, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
+  throw std::bad_alloc();  // lint: R4-ok(replacement operator new must throw bad_alloc)
 }
 
 void* operator new[](std::size_t size) {
   g_allocated.fetch_add(size, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
+  throw std::bad_alloc();  // lint: R4-ok(replacement operator new must throw bad_alloc)
 }
 
 void operator delete(void* p) noexcept { std::free(p); }

@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
-# Repo-convention linter + clang-tidy driver.
+# Repo-convention linter + rushlint + clang-tidy driver.
 #
 # Usage: scripts/lint.sh [--no-tidy] [build-dir]
 #
-# Custom rules (always run, pure grep — no toolchain needed):
+# Custom rules (always run, pure grep — no toolchain needed), over src/,
+# tests/, bench/ and examples/:
 #   R1  headers must use #pragma once
-#   R2  no `using namespace` in headers (examples/ may, they are programs)
+#   R2  no `using namespace` in headers (examples/ is exempt: the examples
+#       are standalone programs and their headers are program-private)
 #   R3  every require()/ensure()/RUSH_DCHECK() call carries a message string
 #   R4  no bare `throw std::...` outside src/common/error.h — use
 #       require()/ensure() or the rush exception types
 #
+# rushlint (tools/rushlint) then runs the token-aware determinism rules
+# D1–D4 (see DESIGN.md §5f).  The build-tree binary is used when present;
+# otherwise it is bootstrap-compiled — it is plain C++20 with no deps.
+#
 # clang-tidy (profile in .clang-tidy) runs over src/ when the binary and a
 # compile_commands.json are available; pass --no-tidy to skip explicitly.
-set -u
+set -u -o pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -25,24 +31,27 @@ for arg in "$@"; do
   esac
 done
 
+declare -A rule_failures=()
 failures=0
-fail() {
-  echo "lint: $1" >&2
+fail() {  # fail <rule> <message>
+  echo "lint: $1 $2" >&2
+  rule_failures[$1]=$((${rule_failures[$1]:-0} + 1))
   failures=$((failures + 1))
 }
 
-headers=$(find src -name '*.h' | sort)
-sources=$(find src -name '*.h' -o -name '*.cc' | sort)
+headers=$(find src tests bench examples -name '*.h' | sort)
+sources=$(find src tests bench examples -name '*.h' -o -name '*.cc' | sort)
 
 # R1: every header declares #pragma once.
 for h in $headers; do
-  grep -q '^#pragma once$' "$h" || fail "R1 $h: missing '#pragma once'"
+  grep -q '^#pragma once$' "$h" || fail R1 "$h: missing '#pragma once'"
 done
 
-# R2: no `using namespace` at any scope in headers.
+# R2: no `using namespace` at any scope in headers (examples/ exempt).
 for h in $headers; do
+  case "$h" in examples/*) continue ;; esac
   if grep -n 'using namespace' "$h" /dev/null; then
-    fail "R2 $h: 'using namespace' in a header"
+    fail R2 "$h: 'using namespace' in a header"
   fi
 done
 
@@ -52,26 +61,45 @@ done
 # src/common/error.h are exempt.
 for f in $sources; do
   [ "$f" = "src/common/error.h" ] && continue
-  matches=$(grep -Pzo '(?s)\b(require|ensure|RUSH_DCHECK)\s*\([^;]*?\)\s*;' "$f" | tr -d '\0')
+  matches=$(grep -Pzo '(?s)\b(require|ensure|RUSH_DCHECK)\s*\([^;]*?\)\s*;' "$f" | tr -d '\0') || true
   [ -n "$matches" ] || continue
   while IFS= read -r stmt; do
     [ -n "$stmt" ] || continue
     case "$stmt" in
       *'"'*) ;;
-      *) fail "R3 $f: check without message: $stmt" ;;
+      *) fail R3 "$f: check without message: $stmt" ;;
     esac
   done <<EOF
 $(printf '%s' "$matches" | tr '\n' ' ' | sed 's/;/;\n/g')
 EOF
 done
 
-# R4: no bare standard-library throws outside the error header.
+# R4: no bare standard-library throws outside the error header.  A site whose
+# contract pins the exception type (e.g. replacement operator new must throw
+# std::bad_alloc) is exempted with a same-line `// lint: R4-ok(<reason>)`.
 for f in $sources; do
   [ "$f" = "src/common/error.h" ] && continue
-  if grep -n 'throw std::' "$f" /dev/null; then
-    fail "R4 $f: bare 'throw std::...' — use require()/ensure() or rush exceptions"
+  if grep -n 'throw std::' "$f" /dev/null | grep -v 'lint: R4-ok('; then
+    fail R4 "$f: bare 'throw std::...' — use require()/ensure() or rush exceptions"
   fi
 done
+
+# rushlint: token-aware determinism rules D1–D4 over src/, tests/, examples/.
+rushlint_bin="$BUILD_DIR/tools/rushlint"
+if [ ! -x "$rushlint_bin" ]; then
+  rushlint_bin=$(mktemp -t rushlint.XXXXXX)
+  trap 'rm -f "$rushlint_bin"' EXIT
+  echo "lint: no $BUILD_DIR/tools/rushlint; bootstrap-compiling" >&2
+  if ! "${CXX:-c++}" -std=c++20 -O1 -o "$rushlint_bin" tools/rushlint/rushlint.cc; then
+    fail rushlint "failed to bootstrap-compile tools/rushlint/rushlint.cc"
+    rushlint_bin=""
+  fi
+fi
+if [ -n "$rushlint_bin" ]; then
+  if ! "$rushlint_bin" --repo-root . --baseline tools/rushlint/suppressions.baseline; then
+    fail rushlint "determinism findings (rules D1-D4 above)"
+  fi
+fi
 
 # clang-tidy over src/ (the curated .clang-tidy profile).
 if [ "$RUN_TIDY" -eq 1 ]; then
@@ -80,17 +108,22 @@ if [ "$RUN_TIDY" -eq 1 ]; then
   elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
     echo "lint: no $BUILD_DIR/compile_commands.json; configure with" >&2
     echo "      cmake -B $BUILD_DIR -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
-    failures=$((failures + 1))
+    fail clang-tidy "missing compile_commands.json"
   else
-    # shellcheck disable=SC2086
+    # shellcheck disable=SC2046
     if ! clang-tidy -p "$BUILD_DIR" --quiet $(find src -name '*.cc' | sort); then
-      fail "clang-tidy reported findings"
+      fail clang-tidy "reported findings"
     fi
   fi
 fi
 
 if [ "$failures" -gt 0 ]; then
-  echo "lint: FAILED ($failures problem(s))" >&2
+  {
+    echo "lint: FAILED ($failures problem(s)):"
+    for rule in "${!rule_failures[@]}"; do
+      echo "lint:   $rule: ${rule_failures[$rule]}"
+    done
+  } >&2
   exit 1
 fi
 echo "lint: OK"

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "src/robust/rem.h"
 
@@ -173,8 +174,16 @@ AuditReport audit_tas(const TasResult& result, const std::vector<TasJob>& jobs,
     }
   }
 
+  // Walk ids in sorted order: job_of is a hash map, and the order of these
+  // checks is the order failures appear in the report text.
+  std::vector<JobId> ids;
+  ids.reserve(job_of.size());
   for (const auto& [id, job] : job_of) {
     static_cast<void>(job);
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const JobId id : ids) {
     report.check(seen.count(id) > 0, "tas.covered",
                  cat("job ", id, " received no target"));
   }
@@ -287,9 +296,18 @@ AuditReport audit_mapping(const MappingResult& result,
     }
   }
 
-  // Per job: demand conservation, completion bookkeeping, Theorem 3.
+  // Per job: demand conservation, completion bookkeeping, Theorem 3.  Ids
+  // are walked in sorted order so failing checks land in the report in a
+  // reproducible order, not the hash map's.
+  std::vector<JobId> ids;
+  ids.reserve(job_of.size());
   for (const auto& [id, jobp] : job_of) {
-    const MappingJob& job = *jobp;
+    static_cast<void>(jobp);
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const JobId id : ids) {
+    const MappingJob& job = *job_of.at(id);
     const auto completion = result.completion.find(id);
     if (completion == result.completion.end()) {
       report.check(false, "mapping.completion_present",
@@ -331,8 +349,14 @@ AuditReport audit_mapping(const MappingResult& result,
                        " past the Theorem 3 bound ", job.deadline + job.task_runtime));
     }
   }
+  std::vector<JobId> completion_ids;
+  completion_ids.reserve(result.completion.size());
   for (const auto& [id, completion] : result.completion) {
     static_cast<void>(completion);
+    completion_ids.push_back(id);
+  }
+  std::sort(completion_ids.begin(), completion_ids.end());
+  for (const JobId id : completion_ids) {
     report.check(job_of.count(id) > 0, "mapping.completion_known",
                  cat("completion recorded for unknown job ", id));
   }

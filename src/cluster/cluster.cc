@@ -16,6 +16,7 @@ namespace {
 class SeamTimer {
  public:
   SeamTimer(bool enabled, double& sink) : enabled_(enabled), sink_(sink) {
+    // rushlint: nondeterminism-ok(seam profiler; wall time feeds RunResult::seam_seconds, never a decision)
     if (enabled_) start_ = std::chrono::steady_clock::now();
   }
   SeamTimer(const SeamTimer&) = delete;
@@ -23,6 +24,7 @@ class SeamTimer {
   ~SeamTimer() {
     if (enabled_) {
       sink_ +=
+          // rushlint: nondeterminism-ok(seam profiler; wall time feeds RunResult::seam_seconds, never a decision)
           std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
               .count();
     }
@@ -31,6 +33,7 @@ class SeamTimer {
  private:
   bool enabled_;
   double& sink_;
+  // rushlint: nondeterminism-ok(seam profiler state; never read by scheduling code)
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -166,6 +169,7 @@ void Cluster::release_container(std::size_t container_index) {
 int Cluster::running_attempts(std::size_t job_index, int task_index,
                               bool is_reduce) const {
   int count = 0;
+  // rushlint: order-insensitive(pure count; addition is commutative)
   for (const auto& [id, attempt] : attempts_) {
     if (!attempt.cancelled && attempt.job_index == job_index &&
         attempt.task_index == task_index && attempt.is_reduce == is_reduce) {
@@ -209,13 +213,24 @@ void Cluster::handle_attempt_finished(std::uint64_t attempt_id, Seconds runtime)
   ++scheduling_events_;
 
   // Kill sibling backup attempts of the same task: free their containers
-  // now; their in-flight finish events become no-ops.
-  for (auto& [id, sibling] : attempts_) {
+  // now; their in-flight finish events become no-ops.  Kills proceed in
+  // ascending attempt id (creation order), NOT hash order: each kill pushes
+  // a container onto free_containers_ and emits an observer event, so the
+  // iteration order of attempts_ would otherwise leak into dispatch order
+  // and traces whenever a task holds more than one backup.
+  std::vector<std::uint64_t> sibling_ids;
+  // rushlint: order-insensitive(collects matching ids, sorted before use)
+  for (const auto& [id, sibling] : attempts_) {
     if (sibling.cancelled || sibling.job_index != attempt.job_index ||
         sibling.task_index != attempt.task_index ||
         sibling.is_reduce != attempt.is_reduce) {
       continue;
     }
+    sibling_ids.push_back(id);
+  }
+  std::sort(sibling_ids.begin(), sibling_ids.end());
+  for (const std::uint64_t sibling_id : sibling_ids) {
+    Attempt& sibling = attempts_.at(sibling_id);
     sibling.cancelled = true;
     release_container(sibling.container_index);
     --job.running;
@@ -388,7 +403,12 @@ void Cluster::launch_speculative_backups() {
     // elapsed/mean ratio above the threshold whose task can take another
     // attempt.
     const Attempt* straggler = nullptr;
+    std::uint64_t straggler_id = 0;
     double worst_ratio = config_.speculation_threshold;
+    // Equal ratios are broken by the smaller attempt id (creation order), so
+    // the winner is a pure function of the attempts — not of the hash
+    // iteration order the loop happens to visit them in.
+    // rushlint: order-insensitive(max-scan with a total tiebreak on attempt id)
     for (const auto& [id, attempt] : attempts_) {
       if (attempt.cancelled) continue;
       const ActiveJob& job = jobs_[attempt.job_index];
@@ -398,13 +418,17 @@ void Cluster::launch_speculative_backups() {
           job.sample_sum / static_cast<double>(job.runtime_samples.size());
       if (mean <= 0.0) continue;
       const double ratio = (sim_.now() - attempt.start) / mean;
-      if (ratio <= worst_ratio) continue;
+      if (ratio < worst_ratio ||
+          (ratio == worst_ratio && (straggler == nullptr || id > straggler_id))) {
+        continue;
+      }
       if (running_attempts(attempt.job_index, attempt.task_index, attempt.is_reduce) >=
           config_.max_attempts_per_task) {
         continue;
       }
       worst_ratio = ratio;
       straggler = &attempt;
+      straggler_id = id;
     }
     if (straggler == nullptr) return;
 

@@ -97,7 +97,7 @@ Rng Rng::split() { return Rng(next()); }
 
 std::size_t Rng::pick_weighted(const std::vector<double>& weights) {
   double total = 0.0;
-  for (double w : weights) {
+  for (const double w : weights) {
     require(w >= 0.0, "pick_weighted: negative weight");
     total += w;
   }

@@ -1,0 +1,108 @@
+// Clang Thread Safety Analysis vocabulary for rush (DESIGN.md §5f).
+//
+// The determinism guarantees of the replanning engine rest on a small,
+// fixed locking discipline (which mutex guards which state, and which state
+// is deliberately lock-free).  These macros encode that discipline in the
+// type system so a Clang build with -Wthread-safety (-DRUSH_THREAD_SAFETY=ON,
+// see the top-level CMakeLists.txt) rejects an unlocked access at compile
+// time instead of relying on TSan and seeded differential tests to trip it.
+//
+// Under any other compiler every macro expands to nothing, so GCC builds are
+// untouched; the annotations are pure documentation there.
+//
+// Vocabulary (mirrors the upstream attribute names):
+//   RUSH_CAPABILITY(name)       — the class is a lockable capability.
+//   RUSH_SCOPED_CAPABILITY      — RAII object that holds a capability for
+//                                 its lifetime (MutexLock below).
+//   RUSH_GUARDED_BY(mutex)      — reads need the mutex held (shared),
+//                                 writes need it held exclusively.
+//   RUSH_PT_GUARDED_BY(mutex)   — same, for the pointee of a pointer.
+//   RUSH_REQUIRES(mutex)        — caller must already hold the mutex.
+//   RUSH_ACQUIRE / RUSH_RELEASE — the function takes / drops the mutex.
+//   RUSH_TRY_ACQUIRE(result)    — conditional acquire (try_lock).
+//   RUSH_EXCLUDES(mutex)        — caller must NOT hold the mutex
+//                                 (non-reentrancy, documented deadlocks).
+//   RUSH_RETURN_CAPABILITY(m)   — the function returns a reference to m.
+//   RUSH_NO_THREAD_SAFETY_ANALYSIS — opt a function body out (used only for
+//                                 the BasicLockable shim below, whose
+//                                 unlock/relock pair is a capability no-op).
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define RUSH_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RUSH_THREAD_ANNOTATION_(x)
+#endif
+
+#define RUSH_CAPABILITY(x) RUSH_THREAD_ANNOTATION_(capability(x))
+#define RUSH_SCOPED_CAPABILITY RUSH_THREAD_ANNOTATION_(scoped_lockable)
+#define RUSH_GUARDED_BY(x) RUSH_THREAD_ANNOTATION_(guarded_by(x))
+#define RUSH_PT_GUARDED_BY(x) RUSH_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define RUSH_REQUIRES(...) \
+  RUSH_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define RUSH_REQUIRES_SHARED(...) \
+  RUSH_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define RUSH_ACQUIRE(...) \
+  RUSH_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RUSH_RELEASE(...) \
+  RUSH_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RUSH_TRY_ACQUIRE(...) \
+  RUSH_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define RUSH_EXCLUDES(...) RUSH_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define RUSH_RETURN_CAPABILITY(x) RUSH_THREAD_ANNOTATION_(lock_returned(x))
+#define RUSH_NO_THREAD_SAFETY_ANALYSIS \
+  RUSH_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace rush {
+
+class MutexLock;
+
+/// std::mutex wrapped as a Clang capability, so members can be declared
+/// RUSH_GUARDED_BY(it) and the analysis can prove every access happens under
+/// the lock.  Same cost and semantics as std::mutex; prefer locking it
+/// through MutexLock so scope and capability lifetime coincide.
+class RUSH_CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void lock() RUSH_ACQUIRE() { mutex_.lock(); }
+  void unlock() RUSH_RELEASE() { mutex_.unlock(); }
+  bool try_lock() RUSH_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mutex_;
+};
+
+/// RAII lock over an AnnotatedMutex (the annotated std::lock_guard).  Also a
+/// BasicLockable, so std::condition_variable_any can wait on it: the wait's
+/// internal unlock/relock is a net no-op for the capability (the lock is
+/// held again before wait returns), which is why the shim methods are
+/// excluded from analysis instead of annotated.
+class RUSH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(AnnotatedMutex& mutex) RUSH_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RUSH_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// BasicLockable surface for std::condition_variable_any only; never call
+  /// these directly (the scoped capability already owns the mutex).
+  void lock() RUSH_NO_THREAD_SAFETY_ANALYSIS { mutex_.mutex_.lock(); }
+  void unlock() RUSH_NO_THREAD_SAFETY_ANALYSIS { mutex_.mutex_.unlock(); }
+
+ private:
+  AnnotatedMutex& mutex_;
+};
+
+}  // namespace rush

@@ -61,7 +61,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_.store(true, std::memory_order_relaxed);
   }
   work_cv_.notify_all();
@@ -104,7 +104,7 @@ void ThreadPool::drain_batch(std::uint32_t batch) {
     try {
       (*body)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (error_ == nullptr || i < error_index_) {
         error_ = std::current_exception();
         error_index_ = i;
@@ -114,7 +114,7 @@ void ThreadPool::drain_batch(std::uint32_t batch) {
       // Last iteration: wake a caller that gave up spinning in the join.
       // Taking mutex_ pairs with the join's predicate re-check, so the
       // notification cannot slip between its check and its sleep.
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       done_cv_.notify_all();
     }
     control = control_.load(std::memory_order_acquire);
@@ -135,7 +135,7 @@ void ThreadPool::worker_loop() {
         batch = batch_of(control_.load(std::memory_order_acquire));
         if (batch != seen) break;
         if (--spins <= 0) {
-          std::unique_lock<std::mutex> lock(mutex_);
+          MutexLock lock(mutex_);
           work_cv_.wait(lock, [&] {
             batch = batch_of(control_.load(std::memory_order_acquire));
             return stop_.load(std::memory_order_relaxed) || batch != seen;
@@ -157,7 +157,7 @@ void ThreadPool::parallel_for(std::size_t n,
   require(t_active_pool != this,
           "ThreadPool::parallel_for: nested call on the same pool from an "
           "iteration body (would deadlock)");
-  std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+  MutexLock batch_lock(batch_mutex_);
   ActivePoolGuard active(this);
   if (workers_.empty() || n == 1) {
     // Serial reference path: the caller runs every iteration in index order.
@@ -185,7 +185,7 @@ void ThreadPool::parallel_for(std::size_t n,
     // The batch id must change under mutex_: a worker's park predicate reads
     // control_ under the same lock, so it either sees the new id or is still
     // waiting when notify_all fires — it cannot sleep through the batch.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     control_.store(std::uint64_t{batch} << kBatchShift, std::memory_order_release);
   }
   work_cv_.notify_all();
@@ -200,7 +200,7 @@ void ThreadPool::parallel_for(std::size_t n,
   int spins = spin_budget_;
   while (done_.load(std::memory_order_acquire) < n) {
     if (--spins <= 0) {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       done_cv_.wait(lock, [&] {
         return done_.load(std::memory_order_acquire) >= n;
       });
@@ -209,9 +209,9 @@ void ThreadPool::parallel_for(std::size_t n,
     cpu_relax();
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (error_ != nullptr) {
-    std::exception_ptr error = error_;
+    const std::exception_ptr error = error_;
     error_ = nullptr;
     error_index_ = 0;
     std::rethrow_exception(error);

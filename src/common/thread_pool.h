@@ -41,11 +41,14 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace rush {
+
+struct ThreadSafetyProbe;
 
 class ThreadPool {
  public:
@@ -80,6 +83,11 @@ class ThreadPool {
   static int resolve_threads(int configured);
 
  private:
+  /// Compile-time seam: the thread-safety negative fixtures poke guarded
+  /// members without their mutex to prove -Wthread-safety rejects it
+  /// (tests/thread_safety/, see DESIGN.md §5f).
+  friend struct ThreadSafetyProbe;
+
   void worker_loop();
   /// Claims and runs iterations of batch `batch` until none are left,
   /// after validating through seq_ that the published loop fields belong to
@@ -90,12 +98,20 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   /// Serializes parallel_for callers (one batch in flight at a time).
-  std::mutex batch_mutex_;
+  AnnotatedMutex batch_mutex_;
 
   /// Batches dispatched so far == id of the latest batch (ids start at 1 and
-  /// are never reused; see the batch protocol above).  Guarded by
-  /// batch_mutex_.
-  std::uint64_t batches_dispatched_ = 0;
+  /// are never reused; see the batch protocol above).
+  std::uint64_t batches_dispatched_ RUSH_GUARDED_BY(batch_mutex_) = 0;
+
+  // Capability docs for the lock-free loop state: seq_/control_/body_/end_/
+  // done_ are deliberately atomics, NOT mutex-guarded capabilities — workers
+  // claim iterations by CAS on control_ with no lock held, which is the
+  // whole point of the batch protocol.  Their discipline is the seqlock
+  // described above (publisher brackets field writes with odd/even seq_
+  // transitions; drainers validate seq_ before and after loading fields),
+  // which Clang's analysis cannot express; TSan and the protocol proof in
+  // DESIGN.md §5c cover them instead.
 
   /// Seqlock word guarding body_/end_/done_: `2 * id - 1` while batch `id`'s
   /// fields are being written, `2 * id` once they are stable.  All accesses
@@ -120,13 +136,14 @@ class ThreadPool {
   int spin_budget_ = 0;
 
   /// Guards parking/waking only — never taken on the claim/run fast path.
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
+  /// (condition_variable_any so the waits can ride the annotated MutexLock.)
+  AnnotatedMutex mutex_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
 
-  /// Smallest-index exception captured during the active batch (under mutex_).
-  std::exception_ptr error_;
-  std::size_t error_index_ = 0;
+  /// Smallest-index exception captured during the active batch.
+  std::exception_ptr error_ RUSH_GUARDED_BY(mutex_);
+  std::size_t error_index_ RUSH_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace rush

@@ -11,6 +11,7 @@
 namespace rush {
 namespace {
 
+// rushlint: nondeterminism-ok(PlanStats profiler; stage wall times are reported, never fed back into the plan)
 using ProfileClock = std::chrono::steady_clock;
 
 double elapsed_us(ProfileClock::time_point from, ProfileClock::time_point to) {

@@ -11,7 +11,8 @@ std::string output_path(const std::string& filename) {
   require(!filename.empty(), "output_path: empty filename");
   const std::filesystem::path name(filename);
   if (name.is_absolute() || name.has_parent_path()) return filename;
-  const char* env = std::getenv("RUSH_OUT_DIR");
+  // Read-only env lookup; no thread in this program ever calls setenv.
+  const char* env = std::getenv("RUSH_OUT_DIR");  // NOLINT(concurrency-mt-unsafe)
   const std::filesystem::path dir = (env != nullptr && *env != '\0') ? env : "out";
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);

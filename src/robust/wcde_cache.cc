@@ -50,8 +50,9 @@ WcdeResult WcdeCache::solve(const QuantizedPmf& phi, double theta, double delta)
   Shard& shard = shard_for(fp);
   bool fingerprint_matched = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    auto [it, end] = shard.entries.equal_range(fp);
+    MutexLock lock(shard.mutex);
+    // rushlint: order-insensitive(bucket scan selects by bit-exact equality; at most one entry matches)
+    auto [it, end] = shard.entry_table.equal_range(fp);
     for (; it != end; ++it) {
       Entry& entry = it->second;
       fingerprint_matched = true;
@@ -67,13 +68,14 @@ WcdeResult WcdeCache::solve(const QuantizedPmf& phi, double theta, double delta)
   // Miss: solve outside the lock so concurrent misses do not serialize.
   const WcdeResult result = solve_wcde(phi, theta, delta);
 
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   // Another thread may have missed on the same inputs concurrently and
   // inserted while we solved.  Re-scan before emplacing: a duplicate entry
   // would permanently eat shard capacity and slow every later lookup on
   // this fingerprint.  solve_wcde is deterministic, so refreshing the
   // existing entry and returning our result are equivalent.
-  auto [it, end] = shard.entries.equal_range(fp);
+  // rushlint: order-insensitive(bucket scan selects by bit-exact equality; at most one entry matches)
+  auto [it, end] = shard.entry_table.equal_range(fp);
   for (; it != end; ++it) {
     Entry& entry = it->second;
     if (entry.theta == theta && entry.delta == delta && entry.phi == phi) {
@@ -82,23 +84,24 @@ WcdeResult WcdeCache::solve(const QuantizedPmf& phi, double theta, double delta)
       return result;
     }
   }
-  if (shard.entries.size() >= shard_capacity_) {
-    auto victim = shard.entries.begin();
-    for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+  if (shard.entry_table.size() >= shard_capacity_) {
+    auto victim = shard.entry_table.begin();
+    // rushlint: order-insensitive(min-scan over unique LRU clock values; the victim is the same in any visit order)
+    for (auto it = shard.entry_table.begin(); it != shard.entry_table.end(); ++it) {
       if (it->second.last_used < victim->second.last_used) victim = it;
     }
-    shard.entries.erase(victim);
+    shard.entry_table.erase(victim);
     ++shard.stats.evictions;
   }
-  shard.entries.emplace(fp, Entry{phi, theta, delta, result, ++shard.clock});
+  shard.entry_table.emplace(fp, Entry{phi, theta, delta, result, ++shard.clock});
   ++shard.stats.misses;
   return result;
 }
 
 void WcdeCache::clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.entries.clear();
+    MutexLock lock(shard.mutex);
+    shard.entry_table.clear();
     shard.clock = 0;
   }
 }
@@ -106,8 +109,8 @@ void WcdeCache::clear() {
 std::size_t WcdeCache::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    total += shard.entries.size();
+    MutexLock lock(shard.mutex);
+    total += shard.entry_table.size();
   }
   return total;
 }
@@ -115,7 +118,7 @@ std::size_t WcdeCache::size() const {
 WcdeCacheStats WcdeCache::stats() const {
   WcdeCacheStats total;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total.hits += shard.stats.hits;
     total.misses += shard.stats.misses;
     total.collisions += shard.stats.collisions;

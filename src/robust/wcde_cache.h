@@ -23,13 +23,15 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
+#include "src/common/thread_annotations.h"
 #include "src/robust/wcde.h"
 #include "src/stats/pmf.h"
 
 namespace rush {
+
+struct ThreadSafetyProbe;
 
 struct WcdeCacheStats {
   std::uint64_t hits = 0;
@@ -78,18 +80,25 @@ class WcdeCache {
   };
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_multimap<Fingerprint, Entry> entries;
-    std::uint64_t clock = 0;
-    WcdeCacheStats stats;
+    mutable AnnotatedMutex mutex;
+    std::unordered_multimap<Fingerprint, Entry> entry_table RUSH_GUARDED_BY(mutex);
+    std::uint64_t clock RUSH_GUARDED_BY(mutex) = 0;
+    WcdeCacheStats stats RUSH_GUARDED_BY(mutex);
   };
 
   static constexpr std::size_t kShards = 16;
+
+  /// Compile-time seam: the thread-safety negative fixtures poke guarded
+  /// shard members without the shard mutex to prove -Wthread-safety rejects
+  /// it (tests/thread_safety/, see DESIGN.md §5f).
+  friend struct ThreadSafetyProbe;
 
   Shard& shard_for(Fingerprint fp) { return shards_[fp % kShards]; }
 
   std::array<Shard, kShards> shards_;
   std::size_t shard_capacity_;
+  /// Not guarded: set once by set_fingerprint_fn_for_test before any
+  /// concurrent use (a test-only seam), read-only afterwards.
   FingerprintFn fingerprint_fn_;
 };
 

@@ -14,9 +14,15 @@ MappingResult map_time_slots(std::vector<MappingJob> jobs, ContainerCount capaci
   MappingResult result;
   result.queue_occupation.assign(static_cast<std::size_t>(capacity), now);
 
-  // Algorithm 4 walks jobs ordered by target completion time.
-  std::sort(jobs.begin(), jobs.end(),
-            [](const MappingJob& a, const MappingJob& b) { return a.deadline < b.deadline; });
+  // Algorithm 4 walks jobs ordered by target completion time.  Deadlines are
+  // doubles and can tie (equal etas under the same utility shape), and
+  // std::sort is unstable, so ties must be broken by job id: without the
+  // tiebreak, which of two tied jobs is packed first — and therefore each
+  // job's queue and completion time — would depend on the sort
+  // implementation, not on the inputs.
+  std::sort(jobs.begin(), jobs.end(), [](const MappingJob& a, const MappingJob& b) {
+    return a.deadline < b.deadline || (a.deadline == b.deadline && a.id < b.id);
+  });
 
   for (const MappingJob& job : jobs) {
     require(job.task_runtime > 0.0, "map_time_slots: non-positive task runtime");

@@ -1,0 +1,79 @@
+// Negative fixtures for the thread-safety layer (DESIGN.md §5f).
+//
+// This translation unit is compiled by ctest (never linked into anything)
+// under Clang with -Wthread-safety -Wthread-safety-beta -Werror, once per
+// RUSH_TS_PROBE value.  Probe 0 is legal locking and must compile; every
+// other probe commits exactly ONE unlocked access to a guarded member and
+// must therefore FAIL to compile (the ctest entries are WILL_FAIL).
+//
+// Each probe pins one specific RUSH_GUARDED_BY annotation in ThreadPool or
+// WcdeCache: delete that annotation and the probe's violation becomes legal,
+// the fixture compiles, and the WILL_FAIL test turns red.  That is the
+// machine check that the capability map in the headers stays complete.
+//
+// ThreadSafetyProbe is a friend of both classes — the guarded members are
+// private, and the point is to probe the real fields, not replicas.
+
+#include "src/common/thread_pool.h"
+#include "src/robust/wcde_cache.h"
+
+#ifndef RUSH_TS_PROBE
+#error "compile with -DRUSH_TS_PROBE=<n>"
+#endif
+
+namespace rush {
+
+struct ThreadSafetyProbe {
+  std::uint64_t poke(ThreadPool& pool, WcdeCache& cache) {
+    std::uint64_t observed = 0;
+#if RUSH_TS_PROBE == 0
+    // Legal: every guarded access below holds the right mutex.  This probe
+    // proves the fixture and flag plumbing compile at all, so a WILL_FAIL
+    // red elsewhere can only mean the violation was accepted.
+    {
+      MutexLock lock(pool.batch_mutex_);
+      observed += pool.batches_dispatched_;
+    }
+    {
+      MutexLock lock(pool.mutex_);
+      observed += pool.error_index_;
+      if (pool.error_ != nullptr) ++observed;
+    }
+    {
+      MutexLock lock(cache.shards_[0].mutex);
+      observed += cache.shards_[0].clock;
+      observed += cache.shards_[0].stats.hits;
+      observed += cache.shards_[0].entry_table.size();
+    }
+#elif RUSH_TS_PROBE == 1
+    // ThreadPool::batches_dispatched_ without batch_mutex_.
+    observed += pool.batches_dispatched_;
+    static_cast<void>(cache);
+#elif RUSH_TS_PROBE == 2
+    // ThreadPool::error_ without mutex_.
+    if (pool.error_ != nullptr) ++observed;
+    static_cast<void>(cache);
+#elif RUSH_TS_PROBE == 3
+    // ThreadPool::error_index_ without mutex_.
+    observed += pool.error_index_;
+    static_cast<void>(cache);
+#elif RUSH_TS_PROBE == 4
+    // WcdeCache shard entries without the shard mutex.
+    observed += cache.shards_[0].entry_table.size();
+    static_cast<void>(pool);
+#elif RUSH_TS_PROBE == 5
+    // WcdeCache shard LRU clock without the shard mutex.
+    observed += cache.shards_[0].clock;
+    static_cast<void>(pool);
+#elif RUSH_TS_PROBE == 6
+    // WcdeCache shard stats without the shard mutex.
+    observed += cache.shards_[0].stats.misses;
+    static_cast<void>(pool);
+#else
+#error "unknown RUSH_TS_PROBE value"
+#endif
+    return observed;
+  }
+};
+
+}  // namespace rush

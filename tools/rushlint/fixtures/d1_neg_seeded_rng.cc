@@ -1,0 +1,18 @@
+// Fixture: deterministic seeded RNG use, plus identifiers that merely embed
+// the flagged words ("operand", "timestamp", "random_shuffle_count") — none
+// of this is rule D1.  The string and comment below must also stay invisible
+// to the lexer.
+#include <cstdint>
+
+// std::random_device would be flagged if this comment were scanned.
+static const char* kDoc = "calls std::rand() and time(nullptr) at startup";
+
+std::uint64_t fixture(std::uint64_t seed, std::uint64_t operand) {
+  std::uint64_t random_shuffle_count = seed ^ operand;
+  std::uint64_t timestamp = 0;
+  for (int i = 0; i < 3; ++i) {
+    random_shuffle_count = random_shuffle_count * 6364136223846793005ULL + 1442695040888963407ULL;
+    timestamp += random_shuffle_count >> 33;
+  }
+  return timestamp + (kDoc != nullptr ? 1 : 0);
+}

@@ -1,0 +1,9 @@
+// Fixture: a clock read silenced by a reasoned nondeterminism-ok suppression
+// on the line above — no findings (and the suppression is used, so no D4).
+#include <chrono>
+
+long fixture() {
+  // rushlint: nondeterminism-ok(profiler fixture; wall time is reported, never fed back into the plan)
+  const auto start = std::chrono::steady_clock::now();
+  return start.time_since_epoch().count();
+}

@@ -1,0 +1,7 @@
+// Fixture: std::random_device is a nondeterminism source (rule D1).
+#include <random>
+
+int fixture() {
+  std::random_device entropy;
+  return static_cast<int>(entropy());
+}

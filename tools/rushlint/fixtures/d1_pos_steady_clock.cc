@@ -1,0 +1,7 @@
+// Fixture: reading a clock in plan code is a nondeterminism source (rule D1).
+#include <chrono>
+
+long fixture() {
+  const auto start = std::chrono::steady_clock::now();
+  return start.time_since_epoch().count();
+}

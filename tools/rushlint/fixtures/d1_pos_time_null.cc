@@ -1,0 +1,4 @@
+// Fixture: time(nullptr) is a nondeterminism source (rule D1).
+#include <ctime>
+
+long fixture() { return static_cast<long>(time(nullptr)); }

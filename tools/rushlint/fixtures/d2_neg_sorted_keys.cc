@@ -1,0 +1,19 @@
+// Fixture: the deterministic pattern — point lookups into the hash container
+// are fine, and ordered iteration goes through std::map / a sorted vector.
+// No rule fires.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+int fixture(const std::unordered_map<int, int>& table,
+            const std::vector<int>& sorted_keys, const std::map<int, int>& ordered) {
+  int out = 0;
+  for (const int key : sorted_keys) {
+    const auto it = table.find(key);
+    if (it != table.end()) out = out * 31 + it->second;
+  }
+  for (const auto& [key, value] : ordered) {
+    out = out * 31 + key + value;
+  }
+  return out;
+}

@@ -1,0 +1,13 @@
+// Fixture: an order-insensitive fold over a hash container, silenced with a
+// reasoned suppression on the line above the loop — no findings.
+#include <unordered_map>
+
+int fixture(const std::unordered_map<int, int>& table) {
+  int sum = 0;
+  // rushlint: order-insensitive(pure count; addition is commutative)
+  for (const auto& [key, value] : table) {
+    sum += value;
+    static_cast<void>(key);
+  }
+  return sum;
+}

@@ -1,0 +1,14 @@
+// Fixture: a type alias does not hide the hash container underneath
+// (rule D2 — the alias table must see through `using`).
+#include <cstdint>
+#include <unordered_map>
+
+using AttemptTable = std::unordered_map<std::uint64_t, int>;
+
+int fixture(const AttemptTable& attempts) {
+  int out = 0;
+  for (const auto& [id, state] : attempts) {
+    out = out * 31 + static_cast<int>(id) + state;
+  }
+  return out;
+}

@@ -1,0 +1,10 @@
+// Fixture: walking an unordered_multimap equal_range visits duplicate-key
+// entries in unspecified order (rule D2).
+#include <unordered_map>
+
+int fixture(const std::unordered_multimap<int, int>& index, int key) {
+  int out = 0;
+  auto [it, end] = index.equal_range(key);
+  for (; it != end; ++it) out += it->second;
+  return out;
+}

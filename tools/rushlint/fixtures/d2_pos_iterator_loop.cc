@@ -1,0 +1,11 @@
+// Fixture: an explicit iterator loop over a hash container is still hash-order
+// iteration (rule D2).
+#include <unordered_set>
+
+int fixture(const std::unordered_set<int>& members) {
+  int out = 0;
+  for (auto it = members.begin(); it != members.end(); ++it) {
+    out = out * 31 + *it;
+  }
+  return out;
+}

@@ -1,0 +1,11 @@
+// Fixture: range-for over a hash container leaks unspecified iteration order
+// (rule D2).
+#include <unordered_map>
+
+int fixture(const std::unordered_map<int, int>& table) {
+  int out = 0;
+  for (const auto& [key, value] : table) {
+    out = out * 31 + key + value;
+  }
+  return out;
+}

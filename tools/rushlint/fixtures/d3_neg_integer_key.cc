@@ -1,0 +1,14 @@
+// Fixture: sorting on an integral key — ids are unique, ties cannot happen,
+// nothing fires.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+struct Attempt {
+  std::int64_t id = 0;
+};
+
+void fixture(std::vector<Attempt>& attempts) {
+  std::sort(attempts.begin(), attempts.end(),
+            [](const Attempt& a, const Attempt& b) { return a.id < b.id; });
+}

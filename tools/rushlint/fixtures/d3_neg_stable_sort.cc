@@ -1,0 +1,15 @@
+// Fixture: std::stable_sort on a double key — stability pins tied elements to
+// their input order, nothing fires.
+#include <algorithm>
+#include <vector>
+
+using Utility = double;
+
+struct Bid {
+  Utility value = 0.0;
+};
+
+void fixture(std::vector<Bid>& bids) {
+  std::stable_sort(bids.begin(), bids.end(),
+                   [](const Bid& a, const Bid& b) { return a.value < b.value; });
+}

@@ -1,0 +1,18 @@
+// Fixture: the same double-keyed sort with an id tiebreak — ties resolve
+// deterministically, nothing fires.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+using Seconds = double;
+
+struct Job {
+  std::int64_t id = 0;
+  Seconds deadline = 0.0;
+};
+
+void fixture(std::vector<Job>& jobs) {
+  std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.deadline < b.deadline || (a.deadline == b.deadline && a.id < b.id);
+  });
+}

@@ -1,0 +1,17 @@
+// Fixture: std::sort on a bare double key (via the Seconds alias) with no
+// tiebreak — tied keys land in unspecified order (rule D3).
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+using Seconds = double;
+
+struct Job {
+  std::int64_t id = 0;
+  Seconds deadline = 0.0;
+};
+
+void fixture(std::vector<Job>& jobs) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job& a, const Job& b) { return a.deadline < b.deadline; });
+}

@@ -1,0 +1,12 @@
+// Fixture: the same-line suppression placement — the directive sits on the
+// flagged line itself, absorbs the D2 finding, and is counted as used.
+#include <unordered_map>
+
+int fixture(const std::unordered_map<int, int>& table) {
+  int sum = 0;
+  for (const auto& [key, value] : table) {  // rushlint: order-insensitive(pure sum; addition is commutative)
+    sum += value;
+    static_cast<void>(key);
+  }
+  return sum;
+}

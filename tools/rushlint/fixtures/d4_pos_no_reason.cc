@@ -1,0 +1,8 @@
+// Fixture: a suppression with an empty reason (rule D4) — every suppression
+// must say why the silenced pattern is safe.
+#include <vector>
+
+int fixture(const std::vector<int>& values) {
+  // rushlint: order-insensitive()
+  return values.empty() ? 0 : values.front();
+}

@@ -1,0 +1,10 @@
+// Fixture: a well-formed suppression with nothing to suppress is stale
+// (rule D4) — dead suppressions hide future regressions.
+#include <vector>
+
+int fixture(const std::vector<int>& values) {
+  int sum = 0;
+  // rushlint: order-insensitive(pure count; addition is commutative)
+  for (const int v : values) sum += v;
+  return sum;
+}

@@ -1,0 +1,7 @@
+// Fixture: a suppression with a made-up tag (rule D4).
+#include <unordered_map>
+
+int fixture(const std::unordered_map<int, int>& table) {
+  // rushlint: trust-me(it is probably fine)
+  return static_cast<int>(table.size());
+}

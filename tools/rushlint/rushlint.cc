@@ -1,0 +1,810 @@
+// rushlint — the repo-specific determinism analyzer (README "Static safety",
+// DESIGN.md §5f).
+//
+// The plan pipeline promises bit-identical output across thread counts,
+// warm/cold peeling and dispatch seams.  scripts/lint.sh's grep rules cannot
+// see through comments, strings or types, so the checks that need token
+// context live here:
+//
+//   D1  no nondeterminism sources — std::rand/srand, std::random_device,
+//       time(nullptr/NULL/0), system_clock/steady_clock/
+//       high_resolution_clock — anywhere outside src/common/rng.* and
+//       bench/.  Profiling code suppresses per-line with a reason.
+//   D2  no iteration over std::unordered_map/unordered_set (range-for,
+//       iterator for-loops, equal_range walks) in the plan-affecting
+//       directories (src/core, src/tas, src/robust, src/estimator,
+//       src/cluster, src/baselines): hash iteration order is unspecified
+//       and leaks into anything the loop body touches in order.
+//   D3  no std::sort in those directories whose comparator is a single
+//       comparison on a double-typed key (Seconds, Utility, ...): doubles
+//       tie, std::sort is unstable, so tied elements land in unspecified
+//       order — add an id tiebreak or use std::stable_sort.
+//   D4  suppressions must parse, carry a non-empty reason, actually
+//       suppress something, and stay within the checked-in per-tag budget
+//       (tools/rushlint/suppressions.baseline) — the budget can only
+//       shrink.
+//
+// Suppression syntax, on the flagged line or the line directly above:
+//   // rushlint: nondeterminism-ok(<reason>)   — D1
+//   // rushlint: order-insensitive(<reason>)   — D2
+//   // rushlint: float-sort-ok(<reason>)       — D3
+//
+// Modes:
+//   rushlint --repo-root DIR [--baseline FILE]    scan src/, tests/,
+//       examples/ under DIR (bench/ is D1-exempt by design and has no
+//       plan-affecting code, so it is not scanned)
+//   rushlint --self-test DIR                      run the fixture corpus:
+//       every file named dN_pos_* must fire exactly rule DN and nothing
+//       else; every dN_neg_* must be silent
+//   rushlint [--plan-dir] FILE...                 scan explicit files
+//
+// Exit status: 0 clean, 1 findings or budget violations, 2 usage error.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Lexer: tokens + rushlint suppression directives, with comments, string
+// literals, char literals and raw strings stripped so rule patterns can
+// never match inside them.
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+struct Suppression {
+  std::string tag;
+  std::string reason;
+  int line = 0;        // line the directive comment sits on
+  bool malformed = false;
+  std::string problem; // set when malformed
+  bool used = false;
+};
+
+struct FileScan {
+  std::string path;  // repo-relative, '/' separators
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses `rushlint: tag(reason)` directives out of one line-comment body.
+void parse_directives(const std::string& comment, int line,
+                      std::vector<Suppression>& out) {
+  const std::string marker = "rushlint:";
+  std::size_t at = comment.find(marker);
+  if (at == std::string::npos) return;
+  std::size_t i = at + marker.size();
+  while (i < comment.size() && comment[i] == ' ') ++i;
+  Suppression s;
+  s.line = line;
+  while (i < comment.size() &&
+         (std::islower(static_cast<unsigned char>(comment[i])) ||
+          comment[i] == '-')) {
+    s.tag.push_back(comment[i++]);
+  }
+  if (s.tag.empty() || i >= comment.size() || comment[i] != '(') {
+    s.malformed = true;
+    s.problem = "directive must read 'rushlint: <tag>(<reason>)'";
+    out.push_back(std::move(s));
+    return;
+  }
+  const std::size_t close = comment.rfind(')');
+  if (close == std::string::npos || close <= i) {
+    s.malformed = true;
+    s.problem = "directive is missing its closing ')'";
+    out.push_back(std::move(s));
+    return;
+  }
+  s.reason = comment.substr(i + 1, close - i - 1);
+  // Trim the reason; an all-whitespace reason is no reason.
+  while (!s.reason.empty() && std::isspace(static_cast<unsigned char>(s.reason.front()))) {
+    s.reason.erase(s.reason.begin());
+  }
+  while (!s.reason.empty() && std::isspace(static_cast<unsigned char>(s.reason.back()))) {
+    s.reason.pop_back();
+  }
+  if (s.reason.empty()) {
+    s.malformed = true;
+    s.problem = "suppression carries no reason";
+  }
+  out.push_back(std::move(s));
+}
+
+FileScan lex_file(const std::string& path, const std::string& content) {
+  FileScan scan;
+  scan.path = path;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = content.size();
+  auto peek = [&](std::size_t off) -> char {
+    return i + off < n ? content[i + off] : '\0';
+  };
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      std::size_t end = content.find('\n', i);
+      if (end == std::string::npos) end = n;
+      parse_directives(content.substr(i + 2, end - i - 2), line,
+                       scan.suppressions);
+      i = end;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(content[j] == '*' && content[j + 1] == '/')) {
+        if (content[j] == '\n') ++line;
+        ++j;
+      }
+      i = j + 2 <= n ? j + 2 : n;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && content[j] != quote) {
+        if (content[j] == '\\' && j + 1 < n) ++j;
+        if (content[j] == '\n') ++line;
+        ++j;
+      }
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(content[j])) ++j;
+      std::string ident = content.substr(i, j - i);
+      // Raw string literal: R"delim( ... )delim" (also LR/uR/UR/u8R).
+      if (j < n && content[j] == '"' &&
+          (ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+           ident == "u8R")) {
+        std::size_t open = content.find('(', j);
+        if (open == std::string::npos) {
+          i = n;
+          continue;
+        }
+        const std::string delim = ")" + content.substr(j + 1, open - j - 1) + "\"";
+        std::size_t close = content.find(delim, open + 1);
+        for (std::size_t k = j; k < std::min(n, close == std::string::npos
+                                                    ? n
+                                                    : close + delim.size());
+             ++k) {
+          if (content[k] == '\n') ++line;
+        }
+        i = close == std::string::npos ? n : close + delim.size();
+        continue;
+      }
+      scan.tokens.push_back({std::move(ident), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      // pp-number: digits, idents, quotes-as-separators, dots, and +/- when
+      // preceded by an exponent char.
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = content[j];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (content[j - 1] == 'e' || content[j - 1] == 'E' ||
+                    content[j - 1] == 'p' || content[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      scan.tokens.push_back({content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    scan.tokens.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Findings and the analyzer.
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;  // "D1".."D4"
+  std::string message;
+};
+
+const char* tag_for_rule(const std::string& rule) {
+  if (rule == "D1") return "nondeterminism-ok";
+  if (rule == "D2") return "order-insensitive";
+  if (rule == "D3") return "float-sort-ok";
+  return "";
+}
+
+bool known_tag(const std::string& tag) {
+  return tag == "nondeterminism-ok" || tag == "order-insensitive" ||
+         tag == "float-sort-ok";
+}
+
+class Analyzer {
+ public:
+  /// Declaration pass: learns hash-container variables/aliases and
+  /// double-typed names (including `using X = double;` aliases) from a file.
+  /// Run over every file in the scan set before any check_file call, so a
+  /// header's member declarations cover its .cc's loops.
+  void collect_decls(const FileScan& scan) {
+    const std::vector<Token>& t = scan.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      // Type aliases: `using X = double ;` / `using X = ...unordered_map...;`
+      if (t[i].text == "using" && i + 2 < t.size() && t[i + 2].text == "=") {
+        const std::string& alias = t[i + 1].text;
+        bool aliases_hash = false;
+        bool aliases_double = false;
+        std::size_t j = i + 3;
+        std::size_t rhs_len = 0;
+        for (; j < t.size() && t[j].text != ";"; ++j, ++rhs_len) {
+          if (is_hash_type(t[j].text)) aliases_hash = true;
+          if (t[j].text == "double") aliases_double = true;
+        }
+        if (aliases_hash) hash_types_.insert(alias);
+        if (aliases_double && rhs_len == 1) double_types_.insert(alias);
+        continue;
+      }
+      if (is_hash_type(t[i].text) || hash_types_.count(t[i].text) > 0) {
+        record_declared_name(t, i, hash_vars_);
+      } else if (is_double_type(t[i].text)) {
+        record_declared_name(t, i, double_names_);
+      }
+    }
+  }
+
+  /// Rule pass over one file.  `plan_dir` enables D2/D3; `d1_exempt`
+  /// silences D1 (src/common/rng.*, bench/).
+  std::vector<Finding> check_file(const FileScan& scan, bool plan_dir,
+                                  bool d1_exempt,
+                                  std::vector<Suppression>& suppressions) const {
+    std::vector<Finding> findings;
+    auto emit = [&](int line, const std::string& rule, std::string message) {
+      // A matching, well-formed suppression on the same line or the line
+      // directly above absorbs the finding (and is marked used for D4).
+      const char* tag = tag_for_rule(rule);
+      for (Suppression& s : suppressions) {
+        if (!s.malformed && s.tag == tag &&
+            (s.line == line || s.line + 1 == line)) {
+          s.used = true;
+          return;
+        }
+      }
+      findings.push_back({scan.path, line, rule, std::move(message)});
+    };
+
+    const std::vector<Token>& t = scan.tokens;
+    auto text = [&](std::size_t i) -> const std::string& {
+      static const std::string empty;
+      return i < t.size() ? t[i].text : empty;
+    };
+
+    // ---- D1: nondeterminism sources -------------------------------------
+    if (!d1_exempt) {
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        const std::string& w = t[i].text;
+        if (w == "random_device") {
+          emit(t[i].line, "D1",
+               "std::random_device is a nondeterminism source; seed from "
+               "src/common/rng.h instead");
+        } else if ((w == "rand" || w == "srand") && text(i + 1) == "(") {
+          emit(t[i].line, "D1",
+               w + "() is a nondeterminism source; use src/common/rng.h");
+        } else if (w == "system_clock" || w == "steady_clock" ||
+                   w == "high_resolution_clock") {
+          emit(t[i].line, "D1",
+               "std::chrono::" + w +
+                   " reads wall time; plan code must not (profiling code "
+                   "suppresses with a reason)");
+        } else if (w == "time" && text(i + 1) == "(" &&
+                   (text(i + 2) == "nullptr" || text(i + 2) == "NULL" ||
+                    text(i + 2) == "0") &&
+                   text(i + 3) == ")") {
+          emit(t[i].line, "D1",
+               "time(" + text(i + 2) + ") is a nondeterminism source");
+        }
+      }
+    }
+
+    if (plan_dir) {
+      // ---- D2: hash-container iteration ---------------------------------
+      for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].text == "for" && t[i + 1].text == "(") {
+          const std::size_t close = match_paren(t, i + 1);
+          if (close == 0) continue;
+          // Range-for: a ':' at depth 1 that is not part of '::'.
+          std::size_t colon = 0;
+          int depth = 0;
+          for (std::size_t j = i + 1; j < close; ++j) {
+            if (t[j].text == "(") ++depth;
+            if (t[j].text == ")") --depth;
+            if (depth == 1 && t[j].text == ":" && text(j - 1) != ":" &&
+                text(j + 1) != ":") {
+              colon = j;
+              break;
+            }
+          }
+          if (colon != 0) {
+            for (std::size_t j = colon + 1; j < close; ++j) {
+              if (hash_vars_.count(t[j].text) > 0) {
+                emit(t[i].line, "D2",
+                     "range-for over hash container '" + t[j].text +
+                         "': iteration order is unspecified; iterate sorted "
+                         "keys instead");
+                break;
+              }
+            }
+          } else {
+            // Classic for: look for `<hashvar> . begin|cbegin (` in the
+            // init clause (up to the first ';').
+            for (std::size_t j = i + 2; j < close && t[j].text != ";"; ++j) {
+              if (hash_vars_.count(t[j].text) > 0 && text(j + 1) == "." &&
+                  (text(j + 2) == "begin" || text(j + 2) == "cbegin") &&
+                  text(j + 3) == "(") {
+                emit(t[i].line, "D2",
+                     "iterator loop over hash container '" + t[j].text +
+                         "': iteration order is unspecified; iterate sorted "
+                         "keys instead");
+                break;
+              }
+            }
+          }
+        }
+        // equal_range walks: the returned bucket range has unspecified
+        // internal order even for one key (multimap duplicates).
+        if (hash_vars_.count(t[i].text) > 0 && text(i + 1) == "." &&
+            text(i + 2) == "equal_range" && text(i + 3) == "(") {
+          emit(t[i].line, "D2",
+               "equal_range over hash container '" + t[i].text +
+                   "': order within the range is unspecified");
+        }
+      }
+
+      // ---- D3: unstable sort on double keys without a tiebreak ----------
+      for (std::size_t i = 0; i + 4 < t.size(); ++i) {
+        if (!(t[i].text == "std" && t[i + 1].text == ":" &&
+              t[i + 2].text == ":" && t[i + 3].text == "sort" &&
+              t[i + 4].text == "(")) {
+          continue;
+        }
+        const std::size_t open = i + 4;
+        const std::size_t close = match_paren(t, open);
+        if (close == 0) continue;
+        // Comparator = third top-level argument, if any.
+        std::size_t arg_start = open + 1;
+        int commas = 0;
+        std::size_t comp_start = 0;
+        int depth = 0;
+        for (std::size_t j = open; j <= close; ++j) {
+          if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{") ++depth;
+          if (t[j].text == ")" || t[j].text == "]" || t[j].text == "}") --depth;
+          if (depth == 1 && t[j].text == ",") {
+            ++commas;
+            if (commas == 2) comp_start = j + 1;
+          }
+        }
+        static_cast<void>(arg_start);
+        if (comp_start == 0) continue;  // two-arg sort: keys have no payload
+        if (comparator_lacks_double_tiebreak(t, comp_start, close)) {
+          emit(t[i].line, "D3",
+               "std::sort comparator keys on a double with no tiebreak: "
+               "tied keys land in unspecified order (std::sort is "
+               "unstable); add an id tiebreak or use std::stable_sort");
+        }
+      }
+    }
+
+    return findings;
+  }
+
+ private:
+  static bool is_hash_type(const std::string& s) {
+    return s == "unordered_map" || s == "unordered_set" ||
+           s == "unordered_multimap" || s == "unordered_multiset";
+  }
+  bool is_double_type(const std::string& s) const {
+    return double_types_.count(s) > 0;
+  }
+
+  /// After a container/double type name at t[i], finds the declared
+  /// identifier (skipping template arguments and `&`/`*`/`const`) and
+  /// records it.
+  void record_declared_name(const std::vector<Token>& t, std::size_t i,
+                            std::set<std::string>& into) {
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].text == "<") {
+      int depth = 1;
+      ++j;
+      while (j < t.size() && depth > 0) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">") --depth;
+        ++j;
+      }
+    }
+    while (j < t.size() &&
+           (t[j].text == "&" || t[j].text == "*" || t[j].text == "const")) {
+      ++j;
+    }
+    if (j < t.size() && is_ident_start(t[j].text[0])) into.insert(t[j].text);
+  }
+
+  static std::size_t match_paren(const std::vector<Token>& t,
+                                 std::size_t open) {
+    int depth = 0;
+    for (std::size_t j = open; j < t.size(); ++j) {
+      if (t[j].text == "(") ++depth;
+      if (t[j].text == ")") {
+        --depth;
+        if (depth == 0) return j;
+      }
+    }
+    return 0;
+  }
+
+  /// True when the comparator tokens in (start, end) hold a lambda whose
+  /// return expression is a single `<`/`>` comparison whose left terminal is
+  /// a known double-typed name, with no `||`/std::tie secondary key.
+  bool comparator_lacks_double_tiebreak(const std::vector<Token>& t,
+                                        std::size_t start,
+                                        std::size_t end) const {
+    bool is_lambda = false;
+    std::size_t ret = 0;
+    for (std::size_t j = start; j < end; ++j) {
+      if (t[j].text == "[") is_lambda = true;
+      if (is_lambda && t[j].text == "return") {
+        ret = j;
+        break;
+      }
+    }
+    if (ret == 0) return false;
+    std::size_t stop = ret;
+    while (stop < end && t[stop].text != ";") ++stop;
+    int comparisons = 0;
+    std::size_t comparison_at = 0;
+    for (std::size_t j = ret + 1; j < stop; ++j) {
+      const std::string& w = t[j].text;
+      if (w == "|" || w == "&") return false;  // '||' tiebreak (or bit ops)
+      if (w == "tie") return false;            // std::tie lexicographic key
+      if ((w == "<" || w == ">") && t[j - 1].text != "-" &&
+          t[j - 1].text != "<" && t[j - 1].text != ">") {
+        ++comparisons;
+        comparison_at = j;
+      }
+    }
+    if (comparisons != 1) return false;  // 0 or 2+: assume composite key
+    // Left terminal of the comparison: an identifier, or the function name
+    // behind a call's closing paren.
+    std::size_t k = comparison_at - 1;
+    if (t[k].text == ")") {
+      int depth = 0;
+      while (k > ret) {
+        if (t[k].text == ")") ++depth;
+        if (t[k].text == "(") {
+          --depth;
+          if (depth == 0) break;
+        }
+        --k;
+      }
+      if (k == ret) return false;
+      --k;  // token before the '(' names the callee
+    }
+    return is_ident_start(t[k].text.empty() ? '\0' : t[k].text[0]) &&
+           double_names_.count(t[k].text) > 0;
+  }
+
+  std::set<std::string> hash_types_;  // alias names for hash containers
+  std::set<std::string> double_types_{"double"};
+  std::set<std::string> hash_vars_;
+  std::set<std::string> double_names_;
+};
+
+// ---------------------------------------------------------------------------
+// Scan-set assembly and modes.
+
+bool has_cxx_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool is_plan_dir(const std::string& path) {
+  static const char* kPlanDirs[] = {"src/core/",      "src/tas/",
+                                    "src/robust/",    "src/estimator/",
+                                    "src/cluster/",   "src/baselines/"};
+  for (const char* dir : kPlanDirs) {
+    if (starts_with(path, dir)) return true;
+  }
+  return false;
+}
+
+bool is_d1_exempt(const std::string& path) {
+  return starts_with(path, "bench/") || starts_with(path, "src/common/rng.");
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Options {
+  std::string repo_root;
+  std::string baseline;
+  std::string self_test_dir;
+  bool force_plan_dir = false;
+  std::vector<std::string> files;
+};
+
+int usage() {
+  std::cerr << "usage: rushlint --repo-root DIR [--baseline FILE]\n"
+               "       rushlint --self-test FIXTURE_DIR\n"
+               "       rushlint [--plan-dir] FILE...\n";
+  return 2;
+}
+
+void print_findings(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": rushlint " << f.rule << ": "
+              << f.message << "\n";
+  }
+}
+
+/// D4 findings shared by every mode: malformed/unreasoned directives,
+/// unknown tags, and stale (unused) suppressions.
+std::vector<Finding> suppression_findings(const FileScan& scan) {
+  std::vector<Finding> findings;
+  for (const Suppression& s : scan.suppressions) {
+    if (s.malformed) {
+      findings.push_back({scan.path, s.line, "D4", s.problem});
+    } else if (!known_tag(s.tag)) {
+      findings.push_back({scan.path, s.line, "D4",
+                          "unknown suppression tag '" + s.tag +
+                              "' (expected nondeterminism-ok, "
+                              "order-insensitive or float-sort-ok)"});
+    } else if (!s.used) {
+      findings.push_back({scan.path, s.line, "D4",
+                          "stale suppression '" + s.tag +
+                              "': nothing on this line or the next matches "
+                              "the rule it silences"});
+    }
+  }
+  return findings;
+}
+
+int run_self_test(const std::string& dir) {
+  std::vector<fs::path> fixtures;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && has_cxx_extension(entry.path())) {
+      fixtures.push_back(entry.path());
+    }
+  }
+  std::sort(fixtures.begin(), fixtures.end());
+  if (fixtures.empty()) {
+    std::cerr << "rushlint --self-test: no fixtures in " << dir << "\n";
+    return 2;
+  }
+  int failures = 0;
+  for (const fs::path& fixture : fixtures) {
+    const std::string name = fixture.filename().string();
+    // Expectation from the name: dN_pos_* fires exactly rule DN once;
+    // dN_neg_* is silent.
+    if (name.size() < 6 || name[0] != 'd' || name[2] != '_') {
+      std::cerr << "rushlint --self-test: fixture '" << name
+                << "' must be named dN_pos_*.cc or dN_neg_*.cc\n";
+      ++failures;
+      continue;
+    }
+    const std::string rule = "D" + name.substr(1, 1);
+    const bool expect_fire = name.substr(3, 3) == "pos";
+
+    // Each fixture is analyzed in isolation with plan-dir rules forced on,
+    // so a fixture declares exactly the state it exercises.
+    FileScan scan = lex_file(name, read_file(fixture));
+    Analyzer analyzer;
+    analyzer.collect_decls(scan);
+    std::vector<Finding> findings =
+        analyzer.check_file(scan, /*plan_dir=*/true, /*d1_exempt=*/false,
+                            scan.suppressions);
+    for (Finding& f : suppression_findings(scan)) findings.push_back(std::move(f));
+
+    bool ok;
+    if (expect_fire) {
+      ok = findings.size() == 1 && findings[0].rule == rule;
+    } else {
+      ok = findings.empty();
+    }
+    if (ok) {
+      std::cout << "PASS " << name << "\n";
+    } else {
+      ++failures;
+      std::cout << "FAIL " << name << ": expected "
+                << (expect_fire ? "exactly one " + rule + " finding"
+                                : std::string("silence"))
+                << ", got " << findings.size() << " finding(s)\n";
+      print_findings(findings);
+    }
+  }
+  if (failures > 0) {
+    std::cout << "rushlint self-test: FAILED (" << failures << " fixture(s))\n";
+    return 1;
+  }
+  std::cout << "rushlint self-test: OK (" << fixtures.size() << " fixtures)\n";
+  return 0;
+}
+
+std::map<std::string, int> read_baseline(const std::string& path) {
+  std::map<std::string, int> budget;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    int count = 0;
+    if (fields >> tag >> count) budget[tag] = count;
+  }
+  return budget;
+}
+
+int run_scan(const Options& options) {
+  // Assemble the scan set.
+  std::vector<std::pair<fs::path, std::string>> files;  // (disk path, label)
+  if (!options.repo_root.empty()) {
+    const fs::path root(options.repo_root);
+    for (const char* top : {"src", "tests", "examples"}) {
+      const fs::path dir = root / top;
+      if (!fs::exists(dir)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() && has_cxx_extension(entry.path())) {
+          files.emplace_back(entry.path(),
+                             fs::relative(entry.path(), root).generic_string());
+        }
+      }
+    }
+  }
+  for (const std::string& f : options.files) {
+    files.emplace_back(fs::path(f), fs::path(f).generic_string());
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (files.empty()) return usage();
+
+  std::vector<FileScan> scans;
+  scans.reserve(files.size());
+  Analyzer analyzer;
+  for (const auto& [disk, label] : files) {
+    scans.push_back(lex_file(label, read_file(disk)));
+    analyzer.collect_decls(scans.back());
+  }
+
+  std::vector<Finding> findings;
+  std::map<std::string, int> used_suppressions;
+  for (FileScan& scan : scans) {
+    const bool plan_dir = options.force_plan_dir || is_plan_dir(scan.path);
+    std::vector<Finding> file_findings = analyzer.check_file(
+        scan, plan_dir, is_d1_exempt(scan.path), scan.suppressions);
+    for (Finding& f : file_findings) findings.push_back(std::move(f));
+    for (Finding& f : suppression_findings(scan)) findings.push_back(std::move(f));
+    for (const Suppression& s : scan.suppressions) {
+      if (s.used) ++used_suppressions[s.tag];
+    }
+  }
+
+  print_findings(findings);
+  std::map<std::string, int> per_rule;
+  for (const Finding& f : findings) ++per_rule[f.rule];
+
+  bool budget_failed = false;
+  if (!options.baseline.empty()) {
+    // D4 ratchet: the suppression budget can only shrink.  More used
+    // suppressions than the baseline fails; fewer prints a reminder to
+    // tighten the checked-in numbers.
+    const std::map<std::string, int> budget = read_baseline(options.baseline);
+    for (const auto& [tag, used] : used_suppressions) {
+      const auto it = budget.find(tag);
+      const int allowed = it == budget.end() ? 0 : it->second;
+      if (used > allowed) {
+        std::cout << "rushlint D4: " << used << " '" << tag
+                  << "' suppressions in use, but the baseline allows only "
+                  << allowed << " (" << options.baseline
+                  << ") — fix the code instead of suppressing\n";
+        budget_failed = true;
+        ++per_rule["D4"];
+      }
+    }
+    for (const auto& [tag, allowed] : budget) {
+      const auto it = used_suppressions.find(tag);
+      const int used = it == used_suppressions.end() ? 0 : it->second;
+      if (used < allowed) {
+        std::cerr << "rushlint: note: only " << used << " '" << tag
+                  << "' suppressions remain (baseline " << allowed
+                  << ") — ratchet " << options.baseline << " down\n";
+      }
+    }
+  }
+
+  if (!findings.empty() || budget_failed) {
+    std::cout << "rushlint: FAILED (";
+    bool first = true;
+    for (const auto& [rule, count] : per_rule) {
+      if (!first) std::cout << ", ";
+      std::cout << rule << ": " << count;
+      first = false;
+    }
+    std::cout << ")\n";
+    return 1;
+  }
+  std::cout << "rushlint: OK (" << files.size() << " files";
+  if (!used_suppressions.empty()) {
+    std::cout << ",";
+    for (const auto& [tag, used] : used_suppressions) {
+      std::cout << " " << used << " " << tag;
+    }
+    std::cout << " suppression(s)";
+  }
+  std::cout << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--repo-root" && a + 1 < argc) {
+      options.repo_root = argv[++a];
+    } else if (arg == "--baseline" && a + 1 < argc) {
+      options.baseline = argv[++a];
+    } else if (arg == "--self-test" && a + 1 < argc) {
+      options.self_test_dir = argv[++a];
+    } else if (arg == "--plan-dir") {
+      options.force_plan_dir = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (!options.self_test_dir.empty()) return run_self_test(options.self_test_dir);
+  if (options.repo_root.empty() && options.files.empty()) return usage();
+  return run_scan(options);
+}
