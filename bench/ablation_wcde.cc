@@ -27,7 +27,7 @@ std::size_t wcde_linear_scan(const QuantizedPmf& phi, double theta, double delta
   const auto prefix = phi.prefix_cdf();
   std::ptrdiff_t lo = -1;
   for (std::size_t l = 0; l < phi.bins(); ++l) {
-    if (rem_min_kl(prefix[l], theta) <= delta) lo = static_cast<std::ptrdiff_t>(l);
+    if (rem_min_kl(Probability(prefix[l]), Probability(theta)) <= delta) lo = static_cast<std::ptrdiff_t>(l);
   }
   const auto last = static_cast<std::ptrdiff_t>(phi.bins()) - 1;
   return static_cast<std::size_t>(std::min(lo + 1, last)) + 1;
@@ -37,7 +37,7 @@ std::size_t wcde_linear_scan(const QuantizedPmf& phi, double theta, double delta
 std::size_t wcde_materialized(const QuantizedPmf& phi, double theta, double delta) {
   std::ptrdiff_t lo = -1;
   for (std::size_t l = 0; l < phi.bins(); ++l) {
-    const RemResult rem = solve_rem(phi, l, theta);
+    const RemResult rem = solve_rem(phi, l, Probability(theta));
     const double kl = rem.worst_case.kl_divergence(phi);
     if (kl <= delta) lo = static_cast<std::ptrdiff_t>(l);
   }
@@ -48,7 +48,7 @@ std::size_t wcde_materialized(const QuantizedPmf& phi, double theta, double delt
 void BM_WcdeBisection(benchmark::State& state) {
   const auto phi = make_phi(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_wcde(phi, 0.9, 0.7).eta_bin);
+    benchmark::DoNotOptimize(solve_wcde(phi, Probability(0.9), KlRadius(0.7)).eta_bin);
   }
 }
 BENCHMARK(BM_WcdeBisection)->Arg(128)->Arg(256)->Arg(1024)->Arg(4096);
@@ -76,7 +76,7 @@ void BM_WcdeAgreement(benchmark::State& state) {
     std::vector<double> w(256);
     for (auto& x : w) x = rng.uniform() + 1e-3;
     const auto phi = QuantizedPmf::from_weights(w, 1.0);
-    const auto fast = solve_wcde(phi, 0.9, 0.7).eta_bin;
+    const auto fast = solve_wcde(phi, Probability(0.9), KlRadius(0.7)).eta_bin;
     const auto slow = wcde_linear_scan(phi, 0.9, 0.7);
     if (fast != slow) state.SkipWithError("bisection and scan disagree");
     benchmark::DoNotOptimize(fast);

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/provenance.h"
 #include "src/cluster/cluster.h"
 #include "src/cluster/node.h"
 #include "src/common/rng.h"
@@ -267,6 +268,7 @@ int main() {
     std::ofstream json(json_path, std::ios::trunc);
     json << "{\n"
          << "  \"bench\": \"dispatch_overhead\",\n"
+         << rush_bench::provenance_json_fields()
          << "  \"seed\": " << seed << ",\n"
          << "  \"repeats\": " << repeats << ",\n"
          << json_points.str() << "  \"speedup_200x48\": " << largest_speedup

@@ -26,6 +26,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench/provenance.h"
 #include "src/experiments/experiment.h"
 #include "src/metrics/csv.h"
 #include "src/metrics/report.h"
@@ -152,6 +153,7 @@ int main() {
     };
     json << "{\n"
          << "  \"bench\": \"e2e_profile\",\n"
+         << rush_bench::provenance_json_fields()
          << "  \"jobs\": " << jobs << ",\n"
          << "  \"seed\": " << seed << ",\n";
     mode_json("cold", cold);

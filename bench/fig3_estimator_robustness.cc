@@ -37,7 +37,7 @@ double coverage_probability(std::size_t samples, double delta, Rng& rng) {
       estimator.observe(rng.normal_at_least(kTrueMean, kTrueStd, 1.0));
     }
     const QuantizedPmf phi = estimator.remaining_demand(kTasks, 256);
-    const double eta = solve_wcde(phi, kTheta, delta).eta;
+    const double eta = solve_wcde(phi, Probability(kTheta), KlRadius(delta)).eta;
     double demand = 0.0;
     for (int t = 0; t < kTasks; ++t) {
       demand += rng.normal_at_least(kTrueMean, kTrueStd, 1.0);

@@ -45,10 +45,10 @@ int main() {
     const QuantizedPmf phi = estimator.remaining_demand(remaining, 256);
     std::vector<std::string> row = {std::to_string(checkpoint),
                                     TextTable::num(estimator.mean_runtime(), 1),
-                                    TextTable::num(phi.quantile_value(theta), 0)};
+                                    TextTable::num(phi.quantile_value(Probability(theta)), 0)};
     double eta_07 = 0.0;
     for (double delta : {0.1, 0.7, 1.5}) {
-      const double eta = solve_wcde(phi, theta, delta).eta;
+      const double eta = solve_wcde(phi, Probability(theta), KlRadius(delta)).eta;
       if (delta == 0.7) eta_07 = eta;
       row.push_back(TextTable::num(eta, 0));
     }
@@ -62,7 +62,7 @@ int main() {
                "bin.  minKL collapses to the binary KL divergence, e.g.\n";
   for (double s : {0.92, 0.97, 0.995}) {
     std::cout << "  CDF_phi(L) = " << s << "  ->  minKL = "
-              << TextTable::num(rem_min_kl(s, theta), 4) << '\n';
+              << TextTable::num(rem_min_kl(Probability(s), Probability(theta)), 4) << '\n';
   }
   std::cout << "A level L is robust-feasible while minKL <= delta.\n";
   return 0;

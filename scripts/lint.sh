@@ -13,7 +13,7 @@
 #       require()/ensure() or the rush exception types
 #
 # rushlint (tools/rushlint) then runs the token-aware determinism rules
-# D1–D4 (see DESIGN.md §5f).  The build-tree binary is used when present;
+# D1–D6 and the layering rule L1 (see DESIGN.md §5f–§5g).  The build-tree binary is used when present;
 # otherwise it is bootstrap-compiled — it is plain C++20 with no deps.
 #
 # clang-tidy (profile in .clang-tidy) runs over src/ when the binary and a
@@ -84,7 +84,9 @@ for f in $sources; do
   fi
 done
 
-# rushlint: token-aware determinism rules D1–D4 over src/, tests/, examples/.
+# rushlint: token-aware determinism + dimensional-safety rules (D1–D6, L1)
+# over src/, tests/, examples/.  Under GitHub Actions the findings are
+# emitted as ::error annotations so they land inline on the PR diff.
 rushlint_bin="$BUILD_DIR/tools/rushlint"
 if [ ! -x "$rushlint_bin" ]; then
   rushlint_bin=$(mktemp -t rushlint.XXXXXX)
@@ -96,8 +98,12 @@ if [ ! -x "$rushlint_bin" ]; then
   fi
 fi
 if [ -n "$rushlint_bin" ]; then
-  if ! "$rushlint_bin" --repo-root . --baseline tools/rushlint/suppressions.baseline; then
-    fail rushlint "determinism findings (rules D1-D4 above)"
+  rushlint_args=(--repo-root . --baseline tools/rushlint/suppressions.baseline)
+  if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
+    rushlint_args+=(--github)
+  fi
+  if ! "$rushlint_bin" "${rushlint_args[@]}"; then
+    fail rushlint "determinism/unit findings (rules D1-D6, L1 above)"
   fi
 fi
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Regression guard for the rushlint suppression budget (rule D4's ratchet,
+# enforced across commits): tools/rushlint/suppressions.baseline may only
+# ever shrink.  rushlint itself stops the tree from exceeding the checked-in
+# numbers; this guard stops a PR from quietly raising the numbers.
+#
+# Usage: scripts/suppressions_guard.sh [BASE_REF]
+#
+# The per-tag counts at BASE_REF (argument, $RUSH_BASELINE_REF, or the first
+# of origin/main, main, HEAD~1 that resolves) are compared against the
+# working tree; any existing tag whose budget grew fails.  A tag absent at
+# the base is a new rule's initial census and is allowed (with a notice) —
+# the ratchet starts turning the moment the tag is checked in.  When no base
+# revision resolves (shallow clone, fresh repo) the guard skips with a
+# notice rather than failing: rushlint's own budget check still runs in
+# every configuration.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+BASELINE=tools/rushlint/suppressions.baseline
+
+REF="${1:-${RUSH_BASELINE_REF:-}}"
+if [ -z "$REF" ]; then
+  for candidate in origin/main main "HEAD~1"; do
+    if git rev-parse --verify --quiet "$candidate^{commit}" > /dev/null; then
+      REF=$candidate
+      break
+    fi
+  done
+fi
+if [ -z "$REF" ]; then
+  echo "suppressions-guard: no base revision resolves; skipping" >&2
+  exit 0
+fi
+
+# `tag count` lines only; comments and blanks are layout.
+budget() { awk '!/^[[:space:]]*(#|$)/ && NF == 2 { print $1, $2 }'; }
+
+old=$(git show "$REF:$BASELINE" 2>/dev/null | budget || true)
+new=$(budget < "$BASELINE")
+
+failures=0
+while read -r tag count; do
+  [ -n "$tag" ] || continue
+  old_count=$(printf '%s\n' "$old" | awk -v t="$tag" '$1 == t { print $2 }')
+  if [ -z "$old_count" ]; then
+    echo "suppressions-guard: note — new tag '$tag' enters with budget $count" \
+         "(initial census of a new rule; it may only shrink from here)" >&2
+    continue
+  fi
+  if [ "$count" -gt "$old_count" ]; then
+    echo "suppressions-guard: FAIL — '$tag' budget grew $old_count -> $count" \
+         "($BASELINE may only shrink; fix the code instead of suppressing)" >&2
+    failures=$((failures + 1))
+  fi
+done <<EOF
+$new
+EOF
+
+if [ "$failures" -gt 0 ]; then
+  exit 1
+fi
+echo "suppressions-guard: OK (no tag budget grew vs $REF)"

@@ -48,9 +48,11 @@ AuditReport audit_pmf(const QuantizedPmf& pmf, const AuditOptions& options) {
   return report;
 }
 
-AuditReport audit_wcde(const QuantizedPmf& phi, double theta, double delta,
+AuditReport audit_wcde(const QuantizedPmf& phi, Probability theta_level, KlRadius delta_radius,
                        const WcdeResult& result, const AuditOptions& options) {
   AuditReport report("WcdeResult");
+  const double theta = theta_level.value();
+  const double delta = delta_radius.value();
   if (theta <= 0.0 || theta >= 1.0 || delta < 0.0) {
     report.check(false, "wcde.inputs",
                  cat("theta ", theta, " / delta ", delta, " out of range"));
@@ -81,7 +83,7 @@ AuditReport audit_wcde(const QuantizedPmf& phi, double theta, double delta,
   // least theta mass on [0, eta].  Equivalently, forcing CDF(eta's bin) down
   // to theta costs more than delta relative entropy (Theorem 1 closed form).
   if (!result.truncated) {
-    const double kl_at_eta = rem_min_kl(prefix[result.eta_bin - 1], theta);
+    const double kl_at_eta = rem_min_kl(Probability(prefix[result.eta_bin - 1]), theta_level);
     report.check(kl_at_eta > delta - options.kl_tolerance, "wcde.robust",
                  cat("an adversary within the KL ball (min KL ", kl_at_eta,
                      " <= delta ", delta, ") can push the theta-quantile past eta ",
@@ -93,13 +95,13 @@ AuditReport audit_wcde(const QuantizedPmf& phi, double theta, double delta,
   // inside the ball.
   if (result.eta_bin >= 2) {
     const std::size_t attack_bin = result.eta_bin - 2;
-    const double kl_below = rem_min_kl(prefix[attack_bin], theta);
+    const double kl_below = rem_min_kl(Probability(prefix[attack_bin]), theta_level);
     report.check(kl_below <= delta + options.kl_tolerance, "wcde.minimal",
                  cat("eta is not minimal: even at bin ", attack_bin,
                      " no in-ball adversary exists (min KL ", kl_below,
                      " > delta ", delta, ")"));
     if (kl_below <= delta + options.kl_tolerance && std::isfinite(kl_below)) {
-      const RemResult rem = solve_rem(reference, attack_bin, theta);
+      const RemResult rem = solve_rem(reference, attack_bin, theta_level);
       report.merge(audit_pmf(rem.worst_case, options));
       report.check(rem.kl <= delta + options.kl_tolerance, "wcde.witness_in_ball",
                    cat("REM worst case has KL ", rem.kl, " > delta ", delta));
@@ -230,7 +232,7 @@ AuditReport audit_mapping(const MappingResult& result,
   }
 
   // Per-segment sanity + group by queue and by job.
-  std::map<int, std::vector<const MappedSegment*>> by_queue;
+  std::map<QueueId, std::vector<const MappedSegment*>> by_queue;
   std::unordered_map<JobId, double> served;
   std::unordered_map<JobId, Seconds> last_end;
   for (const MappedSegment& seg : result.segments) {
@@ -241,8 +243,8 @@ AuditReport audit_mapping(const MappingResult& result,
       continue;
     }
     const MappingJob& job = *it->second;
-    report.check(seg.queue >= 0 && seg.queue < capacity, "mapping.queue_range",
-                 cat("job ", seg.job, " segment on queue ", seg.queue,
+    report.check(seg.queue.valid() && seg.queue.value() < capacity, "mapping.queue_range",
+                 cat("job ", seg.job, " segment on queue ", seg.queue.value(),
                      " outside [0, ", capacity, ")"));
     report.check(seg.tasks >= 1, "mapping.tasks_positive",
                  cat("job ", seg.job, " segment with ", seg.tasks, " tasks"));
@@ -272,23 +274,24 @@ AuditReport audit_mapping(const MappingResult& result,
     for (const MappedSegment* seg : segments) {
       report.check(std::abs(seg->start - cursor) <= options.time_tolerance,
                    "mapping.gap_free",
-                   cat("queue ", queue, ": segment of job ", seg->job,
+                   cat("queue ", queue.value(), ": segment of job ", seg->job,
                        " starts at ", seg->start, ", expected ", cursor,
                        (seg->start < cursor ? " (overlap)" : " (gap)")));
       cursor = std::max(cursor, seg->end());
     }
-    if (queue >= 0 && static_cast<std::size_t>(queue) < result.queue_occupation.size()) {
+    if (queue.valid() &&
+        static_cast<std::size_t>(queue.value()) < result.queue_occupation.size()) {
       report.check(
-          std::abs(result.queue_occupation[static_cast<std::size_t>(queue)] - cursor) <=
+          std::abs(result.queue_occupation[static_cast<std::size_t>(queue.value())] - cursor) <=
               options.time_tolerance,
           "mapping.occupation",
-          cat("queue ", queue, " occupation ",
-              result.queue_occupation[static_cast<std::size_t>(queue)],
+          cat("queue ", queue.value(), " occupation ",
+              result.queue_occupation[static_cast<std::size_t>(queue.value())],
               " does not match packed end ", cursor));
     }
   }
   for (std::size_t q = 0; q < result.queue_occupation.size(); ++q) {
-    if (by_queue.count(static_cast<int>(q)) == 0) {
+    if (by_queue.count(QueueId(static_cast<std::int32_t>(q))) == 0) {
       report.check(
           std::abs(result.queue_occupation[q] - now) <= options.time_tolerance,
           "mapping.occupation", cat("empty queue ", q, " has occupation ",

@@ -26,6 +26,7 @@
 
 #include "src/check/audit_report.h"
 #include "src/common/types.h"
+#include "src/common/units.h"
 #include "src/robust/wcde.h"
 #include "src/sim/simulator.h"
 #include "src/stats/pmf.h"
@@ -54,7 +55,7 @@ AuditReport audit_pmf(const QuantizedPmf& pmf, const AuditOptions& options = {})
 /// mass on [0, eta] (robustness), the next smaller bin would not be robust
 /// (minimality), and the REM worst-case witness for the last adversarial bin
 /// lies inside the KL ball.
-AuditReport audit_wcde(const QuantizedPmf& phi, double theta, double delta,
+AuditReport audit_wcde(const QuantizedPmf& phi, Probability theta, KlRadius delta,
                        const WcdeResult& result, const AuditOptions& options = {});
 
 /// Checks an onion-peeling result against the jobs it was computed from:

@@ -25,12 +25,22 @@ class InternalError : public std::logic_error {
 };
 
 /// Precondition check helper: throws InvalidInput with the message when the
-/// condition is false.
+/// condition is false.  constexpr so checked value types (src/common/units.h)
+/// stay usable in constant expressions — the throw is only reached, and only
+/// rejected by the compiler, when a constant evaluation actually fails.
+constexpr void require(bool condition, const char* message) {
+  if (!condition) throw InvalidInput(message);
+}
+
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw InvalidInput(message);
 }
 
 /// Invariant check helper: throws InternalError when the condition is false.
+constexpr void ensure(bool condition, const char* message) {
+  if (!condition) throw InternalError(message);
+}
+
 inline void ensure(bool condition, const std::string& message) {
   if (!condition) throw InternalError(message);
 }

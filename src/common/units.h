@@ -1,0 +1,213 @@
+// Compile-time dimensional safety: strong unit and index types.
+//
+// src/common/types.h names the repo's quantities (`Seconds`,
+// `ContainerSeconds`, `Utility`, ...) but keeps them bare-double aliases:
+// the compiler happily adds a deadline to a priority weight or passes a
+// KL radius where a coverage level belongs.  This header provides the
+// enforced counterpart — zero-overhead wrappers whose operator set admits
+// exactly the dimensionally valid expressions and nothing else:
+//
+//   construction   explicit only, and never narrowing (an int-repped
+//                  quantity cannot be built from a runtime double)
+//   additive       q + q, q - q, -q, q += q, q -= q   (same tag only)
+//   comparisons    ==, <, <=, ... between the same tag only
+//   scaling        q * scalar, scalar * q, q / scalar (when exact for Rep)
+//   ratio          q / q  ->  double                  (same tag only)
+//   cross-tag      only through the named operator table below, e.g.
+//                  Containers * Seconds -> ContainerSeconds
+//
+// Everything is constexpr and exactly one Rep wide; the generated code is
+// bit-identical to the raw arithmetic it replaces (the differential suites
+// in tests/ pin this).  `.value()` is the single escape hatch back to the
+// raw representation — rushlint rule D6 confines its use to an allowlisted
+// set of numeric kernels and serialization edges, and the WILL_FAIL probes
+// in tests/units/units_probe.cc pin every forbidden conversion above so
+// that deleting one guard turns exactly one probe red.
+//
+// Tags may carry a range contract: when `Tag::check(rep)` exists it runs on
+// every construction (RUSH_DCHECK builds only) — `Probability` uses this to
+// reject values outside [0,1].
+
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace units {
+
+/// A dimensioned value: `Rep` storage branded with the phantom `Tag`.
+/// Two Quantity instantiations with different tags are unrelated types, so
+/// every cross-dimension mix is a compile error unless a named operator
+/// below defines it.
+template <class Tag, class Rep>
+class Quantity {
+  static_assert(std::is_arithmetic_v<Rep>, "Quantity needs an arithmetic Rep");
+
+ public:
+  using rep = Rep;
+  using tag = Tag;
+
+  constexpr Quantity() = default;
+
+  /// Explicit and non-narrowing: `Rep{v}` brace-initialisation rejects any
+  /// conversion that can lose information on a runtime value (double -> int,
+  /// long -> double, ...) at compile time.
+  template <class T>
+    requires(std::is_arithmetic_v<T> && requires(T v) { Rep{v}; })
+  explicit constexpr Quantity(T v) : value_(Rep{v}) {
+    if constexpr (requires(Rep r) { Tag::check(r); }) Tag::check(value_);
+  }
+
+  /// The raw representation — the ONLY way back to an unbranded number.
+  /// rushlint D6 keeps calls confined to kernel/IO edges.
+  constexpr Rep value() const { return value_; }
+
+  // ---- additive algebra (same tag only) ----
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.value_ - b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity(-a.value_); }
+  constexpr Quantity& operator+=(Quantity o) { return *this = *this + o; }
+  constexpr Quantity& operator-=(Quantity o) { return *this = *this - o; }
+
+  // ---- comparisons (same tag only) ----
+  friend constexpr bool operator==(Quantity a, Quantity b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Quantity a, Quantity b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Quantity a, Quantity b) { return a.value_ < b.value_; }
+  friend constexpr bool operator<=(Quantity a, Quantity b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>(Quantity a, Quantity b) { return a.value_ > b.value_; }
+  friend constexpr bool operator>=(Quantity a, Quantity b) { return a.value_ >= b.value_; }
+
+  // ---- dimensionless scaling (exact for Rep only: an int-repped quantity
+  // cannot be scaled by a double) ----
+  template <class S>
+    requires(std::is_arithmetic_v<S> && requires(Rep r, S s) { Rep{r * s}; })
+  friend constexpr Quantity operator*(Quantity q, S s) {
+    return Quantity(Rep{q.value_ * s});
+  }
+  template <class S>
+    requires(std::is_arithmetic_v<S> && requires(Rep r, S s) { Rep{r * s}; })
+  friend constexpr Quantity operator*(S s, Quantity q) {
+    return Quantity(Rep{s * q.value_});
+  }
+  template <class S>
+    requires(std::is_arithmetic_v<S> && requires(Rep r, S s) { Rep{r / s}; })
+  friend constexpr Quantity operator/(Quantity q, S s) {
+    return Quantity(Rep{q.value_ / s});
+  }
+
+  /// Same-tag ratio: the dimensions cancel, the result is a bare number.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return static_cast<double>(a.value_) / static_cast<double>(b.value_);
+  }
+
+ private:
+  Rep value_{};
+};
+
+/// An opaque index: comparable and hashable, but with NO arithmetic — an id
+/// is a name, not a number, and `queue + queue` or `id * 2` means nothing.
+/// Default-constructed ids hold Rep(-1), the conventional invalid sentinel.
+template <class Tag, class Rep = std::int64_t>
+class StrongId {
+  static_assert(std::is_integral_v<Rep>, "StrongId needs an integral Rep");
+
+ public:
+  using rep = Rep;
+  using tag = Tag;
+
+  constexpr StrongId() = default;
+
+  template <class T>
+    requires(std::is_integral_v<T> && requires(T v) { Rep{v}; })
+  explicit constexpr StrongId(T v) : value_(Rep{v}) {}
+
+  constexpr Rep value() const { return value_; }
+  constexpr bool valid() const { return value_ >= Rep{0}; }
+
+  // Ordered so StrongId keys work in std::map and sorted ranges.
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+  friend constexpr bool operator<=(StrongId a, StrongId b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>(StrongId a, StrongId b) { return a.value_ > b.value_; }
+  friend constexpr bool operator>=(StrongId a, StrongId b) { return a.value_ >= b.value_; }
+
+ private:
+  Rep value_ = Rep{-1};
+};
+
+// ---- dimension tags ------------------------------------------------------
+
+struct SecondsTag {};
+struct ContainerSecondsTag {};
+struct ContainersTag {};
+struct UtilityTag {};
+struct PriorityTag {};
+
+/// Probability mass / coverage level, contracted to [0,1].  The tolerance
+/// absorbs accumulated rounding at the edges: a prefix-CDF tail can land at
+/// 1 + O(1e-12) and is still, dimensionally, a probability.
+struct ProbabilityTag {
+  static constexpr void check(double v) {
+    RUSH_DCHECK(v >= -1e-9 && v <= 1.0 + 1e-9, "Probability outside [0,1]");
+  }
+};
+
+/// KL-divergence ball radius (the paper's entropy threshold delta), >= 0.
+struct KlRadiusTag {
+  static constexpr void check(double v) {
+    RUSH_DCHECK(v >= 0.0, "KlRadius must be non-negative");
+  }
+};
+
+// ---- strong counterparts of the src/common/types.h aliases ---------------
+//
+// These live in rush::units:: (not rush::) because the legacy bare aliases
+// keep their names at the public API surface; interior kernels opt into the
+// checked variants.
+
+using Seconds = Quantity<SecondsTag, double>;
+using ContainerSeconds = Quantity<ContainerSecondsTag, double>;
+using Containers = Quantity<ContainersTag, int>;
+using Utility = Quantity<UtilityTag, double>;
+using Priority = Quantity<PriorityTag, double>;
+
+// ---- cross-dimension operator table --------------------------------------
+//
+//   Containers * Seconds         -> ContainerSeconds   (work = rate x time)
+//   Seconds * Containers         -> ContainerSeconds
+//   ContainerSeconds / Containers -> Seconds           (time to drain)
+//   ContainerSeconds / Seconds   -> double             (fractional rate)
+//
+// Every entry is a concrete named operator, not a generic dimension system:
+// the table IS the documentation of which physics this codebase admits.
+
+constexpr ContainerSeconds operator*(Containers c, Seconds s) {
+  return ContainerSeconds(static_cast<double>(c.value()) * s.value());
+}
+constexpr ContainerSeconds operator*(Seconds s, Containers c) {
+  return ContainerSeconds(s.value() * static_cast<double>(c.value()));
+}
+constexpr Seconds operator/(ContainerSeconds w, Containers c) {
+  return Seconds(w.value() / static_cast<double>(c.value()));
+}
+constexpr double operator/(ContainerSeconds w, Seconds s) {
+  return w.value() / s.value();
+}
+
+}  // namespace units
+
+// New dimensions with no legacy alias to collide with are promoted into
+// rush:: directly: theta, quantile levels and PMF mass are `Probability`,
+// the entropy threshold delta_i is `KlRadius`, tree-wide.
+using Probability = units::Quantity<units::ProbabilityTag, double>;
+using KlRadius = units::Quantity<units::KlRadiusTag, double>;
+
+}  // namespace rush

@@ -7,11 +7,11 @@
 
 namespace rush {
 
-double RushConfig::delta_for(std::size_t samples) const {
-  if (!adaptive_delta || samples <= full_trust_samples) return delta;
+KlRadius RushConfig::delta_for(std::size_t samples) const {
+  if (!adaptive_delta || samples <= full_trust_samples) return KlRadius(delta);
   const double shrink =
       std::sqrt(static_cast<double>(full_trust_samples) / static_cast<double>(samples));
-  return std::max(delta * shrink, delta_min);
+  return KlRadius(std::max(delta * shrink, delta_min));
 }
 
 void RushConfig::validate() const {

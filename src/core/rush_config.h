@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <string>
 
+#include "src/common/units.h"
 #include "src/estimator/distribution_estimator.h"
 
 namespace rush {
@@ -12,13 +13,16 @@ namespace rush {
 struct RushConfig {
   /// Completion-probability requirement theta in (0,1): each job must
   /// receive at least its v_i demand with this probability, under the worst
-  /// case distribution (constraint (3)).
-  double theta = 0.9;
+  /// case distribution (constraint (3)).  Kept a bare double — this struct
+  /// is the public config surface, assigned from parsed flags and literals
+  /// everywhere; the typed view is theta_level() below.
+  double theta = 0.9;  // rushlint: unit-ok(public config surface; typed accessor theta_level())
 
   /// Entropy threshold delta: KL ball radius around the reference
   /// distribution.  The paper's Fig 3 recommends >= 0.7 until estimates
   /// mature.  delta = 0 disables robustness (trust phi outright).
-  double delta = 0.7;
+  /// Bare double for the same reason as theta; delta_for() is typed.
+  double delta = 0.7;  // rushlint: unit-ok(public config surface; typed accessor delta_for())
 
   /// When true, delta shrinks as a job accumulates runtime samples
   /// (delta * sqrt(full_trust_samples / samples), floored at delta_min) —
@@ -26,7 +30,7 @@ struct RushConfig {
   /// §V-A, made concrete.
   bool adaptive_delta = false;
   std::size_t full_trust_samples = 35;
-  double delta_min = 0.05;
+  double delta_min = 0.05;  // rushlint: unit-ok(public config surface; consumed via delta_for())
 
   /// Demand PMF resolution (number of quantisation bins).
   std::size_t bins = 256;
@@ -84,8 +88,12 @@ struct RushConfig {
   /// release builds (integration tests, canary deployments).
   bool audit_invariants = false;
 
+  /// The coverage requirement as a dimension-checked probability — what the
+  /// planner hands to WCDE.
+  Probability theta_level() const { return Probability(theta); }
+
   /// Effective entropy threshold for a job with `samples` completed tasks.
-  double delta_for(std::size_t samples) const;
+  KlRadius delta_for(std::size_t samples) const;
 
   /// Validates ranges; throws InvalidInput.
   void validate() const;

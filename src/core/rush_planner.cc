@@ -63,12 +63,13 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
   scratch.wcde_of.resize(jobs.size());
   const auto solve_one = [&](std::size_t i) {
     const PlannerJob& job = jobs[i];
-    const double delta = config_.delta_for(job.samples);
+    const Probability theta = config_.theta_level();
+    const KlRadius delta = config_.delta_for(job.samples);
     scratch.wcde_of[i] = config_.wcde_cache
-                             ? wcde_cache_.solve(*job.demand, config_.theta, delta)
-                             : solve_wcde(*job.demand, config_.theta, delta);
+                             ? wcde_cache_.solve(*job.demand, theta, delta)
+                             : solve_wcde(*job.demand, theta, delta);
     if (audit) {
-      audit_wcde(*job.demand, config_.theta, delta, scratch.wcde_of[i]).throw_if_failed();
+      audit_wcde(*job.demand, theta, delta, scratch.wcde_of[i]).throw_if_failed();
     }
   };
   if (pool_ != nullptr) {
@@ -161,7 +162,7 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
   scratch.head_start.assign(static_cast<std::size_t>(capacity), kNever);
   scratch.head_job.assign(static_cast<std::size_t>(capacity), kInvalidJob);
   for (const MappedSegment& seg : mapping.segments) {
-    const auto q = static_cast<std::size_t>(seg.queue);
+    const auto q = static_cast<std::size_t>(seg.queue.value());
     if (seg.start < scratch.head_start[q]) {
       scratch.head_start[q] = seg.start;
       scratch.head_job[q] = seg.job;

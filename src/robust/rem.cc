@@ -7,9 +7,11 @@
 
 namespace rush {
 
-double rem_min_kl(double reference_cdf_at_bin, double theta) {
+double rem_min_kl(Probability reference_cdf_at_bin, Probability theta_level) {
+  // Numeric kernel edge: unwrap once, compute in raw doubles below.
+  const double theta = theta_level.value();
+  const double s = reference_cdf_at_bin.value();
   require(theta > 0.0 && theta < 1.0, "rem_min_kl: theta must be in (0,1)");
-  const double s = reference_cdf_at_bin;
   require(s >= -1e-12 && s <= 1.0 + 1e-12, "rem_min_kl: CDF value outside [0,1]");
   if (s <= theta) return 0.0;  // phi already satisfies CDF(L) <= theta
   if (s >= 1.0) {
@@ -20,7 +22,8 @@ double rem_min_kl(double reference_cdf_at_bin, double theta) {
   return theta * std::log(theta / s) + (1.0 - theta) * std::log((1.0 - theta) / (1.0 - s));
 }
 
-RemResult solve_rem(const QuantizedPmf& phi, std::size_t bin, double theta) {
+RemResult solve_rem(const QuantizedPmf& phi, std::size_t bin, Probability theta_level) {
+  const double theta = theta_level.value();
   require(phi.is_normalized(1e-6), "solve_rem: phi must be normalised");
   require(bin < phi.bins(), "solve_rem: bin out of range");
   require(theta > 0.0 && theta < 1.0, "solve_rem: theta must be in (0,1)");
@@ -47,7 +50,7 @@ RemResult solve_rem(const QuantizedPmf& phi, std::size_t bin, double theta) {
   for (std::size_t l = 0; l < phi.bins(); ++l) {
     p.set_mass(l, phi.mass(l) * (l <= bin ? head_scale : tail_scale));
   }
-  return {std::move(p), rem_min_kl(s, theta)};
+  return {std::move(p), rem_min_kl(Probability(s), theta_level)};
 }
 
 }  // namespace rush

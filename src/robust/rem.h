@@ -11,6 +11,7 @@
 
 #include <cstddef>
 
+#include "src/common/units.h"
 #include "src/stats/pmf.h"
 
 namespace rush {
@@ -25,7 +26,7 @@ struct RemResult {
 
 /// Solves REM for one job.  `phi` must be normalised; `bin` is the candidate
 /// objective value L as a bin index.
-RemResult solve_rem(const QuantizedPmf& phi, std::size_t bin, double theta);
+RemResult solve_rem(const QuantizedPmf& phi, std::size_t bin, Probability theta);
 
 /// The optimal REM objective value without materialising p.
 ///
@@ -35,7 +36,8 @@ RemResult solve_rem(const QuantizedPmf& phi, std::size_t bin, double theta);
 ///     minKL(L) = theta*ln(theta/S_L) + (1-theta)*ln((1-theta)/(1-S_L))
 /// when S_L > theta, and 0 otherwise (phi itself is feasible).
 /// Given the prefix CDF of phi this is O(1), which makes the WCDE bisection
-/// O(log bins) after one O(bins) pass.
-double rem_min_kl(double reference_cdf_at_bin, double theta);
+/// O(log bins) after one O(bins) pass.  Both arguments are probabilities —
+/// a CDF value and a coverage level — and typed as such.
+double rem_min_kl(Probability reference_cdf_at_bin, Probability theta);
 
 }  // namespace rush

@@ -7,8 +7,10 @@
 
 namespace rush {
 
-WcdeResult solve_wcde(const QuantizedPmf& phi, double theta, double delta) {
-  require(theta > 0.0 && theta < 1.0, "solve_wcde: theta must be in (0,1)");
+WcdeResult solve_wcde(const QuantizedPmf& phi, Probability theta, KlRadius delta_radius) {
+  require(theta.value() > 0.0 && theta.value() < 1.0, "solve_wcde: theta must be in (0,1)");
+  // Numeric kernel edge: the bisection compares raw divergences.
+  const double delta = delta_radius.value();
   require(delta >= 0.0, "solve_wcde: delta must be non-negative");
 
   QuantizedPmf reference = phi;
@@ -21,7 +23,7 @@ WcdeResult solve_wcde(const QuantizedPmf& phi, double theta, double delta) {
   // rem_min_kl is non-decreasing in the CDF value, and the CDF is
   // non-decreasing in L, so feasibility is monotone: true on a prefix of L.
   const auto feasible = [&](std::ptrdiff_t bin) {
-    return rem_min_kl(prefix[static_cast<std::size_t>(bin)], theta) <= delta;
+    return rem_min_kl(Probability(prefix[static_cast<std::size_t>(bin)]), theta) <= delta;
   };
 
   // Largest feasible L in [-1, last]; L = -1 (empty prefix, CDF 0) is always

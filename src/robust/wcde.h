@@ -9,18 +9,19 @@
 
 #pragma once
 
+#include "src/common/units.h"
 #include "src/stats/pmf.h"
 
 namespace rush {
 
 struct WcdeResult {
   /// Robust demand eta_i in container-seconds.
-  double eta = 0.0;
+  ContainerSeconds eta = 0.0;
   /// eta expressed as a number of bins (bins [0, eta_bin) are guaranteed).
   std::size_t eta_bin = 0;
   /// The plain theta-quantile of phi itself (the delta = 0 answer); the gap
   /// eta - reference_eta is the price of robustness.
-  double reference_eta = 0.0;
+  ContainerSeconds reference_eta = 0.0;
   /// True when the adversary can push the quantile past tau_max, i.e. the
   /// demand PMF support was too small for this (delta, theta); eta is then
   /// clamped to tau_max and the caller should widen the binning.
@@ -34,6 +35,6 @@ struct WcdeResult {
 /// @param theta  completion probability requirement, in (0,1)
 /// @param delta  KL ball radius (entropy threshold), >= 0; delta = 0
 ///               degenerates to the plain theta-quantile of phi
-WcdeResult solve_wcde(const QuantizedPmf& phi, double theta, double delta);
+WcdeResult solve_wcde(const QuantizedPmf& phi, Probability theta, KlRadius delta);
 
 }  // namespace rush

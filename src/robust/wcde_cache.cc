@@ -29,14 +29,15 @@ WcdeCache::WcdeCache(std::size_t capacity)
   require(capacity >= 1, "WcdeCache: capacity must be at least 1");
 }
 
-WcdeCache::Fingerprint WcdeCache::fingerprint(const QuantizedPmf& phi, double theta,
-                                              double delta) {
+WcdeCache::Fingerprint WcdeCache::fingerprint(const QuantizedPmf& phi, Probability theta,
+                                              KlRadius delta) {
   std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV offset basis
   fnv1a_mix(hash, static_cast<std::uint64_t>(phi.bins()));
   fnv1a_mix(hash, phi.bin_width());
   for (std::size_t l = 0; l < phi.bins(); ++l) fnv1a_mix(hash, phi.mass(l));
-  fnv1a_mix(hash, theta);
-  fnv1a_mix(hash, delta);
+  // Serialization edge: the fingerprint hashes raw bit patterns.
+  fnv1a_mix(hash, theta.value());
+  fnv1a_mix(hash, delta.value());
   return hash;
 }
 
@@ -45,7 +46,7 @@ void WcdeCache::set_fingerprint_fn_for_test(FingerprintFn fn) {
   fingerprint_fn_ = fn;
 }
 
-WcdeResult WcdeCache::solve(const QuantizedPmf& phi, double theta, double delta) {
+WcdeResult WcdeCache::solve(const QuantizedPmf& phi, Probability theta, KlRadius delta) {
   const Fingerprint fp = fingerprint_fn_(phi, theta, delta);
   Shard& shard = shard_for(fp);
   bool fingerprint_matched = false;

@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "src/common/thread_annotations.h"
+#include "src/common/units.h"
 #include "src/robust/wcde.h"
 #include "src/stats/pmf.h"
 
@@ -46,7 +47,7 @@ struct WcdeCacheStats {
 class WcdeCache {
  public:
   using Fingerprint = std::uint64_t;
-  using FingerprintFn = Fingerprint (*)(const QuantizedPmf&, double, double);
+  using FingerprintFn = Fingerprint (*)(const QuantizedPmf&, Probability, KlRadius);
 
   /// @param capacity total entries kept across all shards before LRU
   ///        eviction kicks in; must be >= 1.
@@ -55,10 +56,10 @@ class WcdeCache {
   /// solve_wcde with memoization: returns the cached result when an entry
   /// with bit-exact equal inputs exists, otherwise computes, stores and
   /// returns a fresh solve.  Safe to call concurrently.
-  WcdeResult solve(const QuantizedPmf& phi, double theta, double delta);
+  WcdeResult solve(const QuantizedPmf& phi, Probability theta, KlRadius delta);
 
   /// FNV-1a over the binning, masses, theta and delta bit patterns.
-  static Fingerprint fingerprint(const QuantizedPmf& phi, double theta, double delta);
+  static Fingerprint fingerprint(const QuantizedPmf& phi, Probability theta, KlRadius delta);
 
   void clear();
   std::size_t size() const;
@@ -72,8 +73,8 @@ class WcdeCache {
  private:
   struct Entry {
     QuantizedPmf phi;
-    double theta;
-    double delta;
+    Probability theta;
+    KlRadius delta;
     WcdeResult result;
     /// Shard-local LRU clock value of the last touch.
     std::uint64_t last_used;

@@ -89,17 +89,18 @@ double QuantizedPmf::cdf(std::size_t bin) const {
   return sum;
 }
 
-std::size_t QuantizedPmf::quantile_bin(double theta) const {
-  require(theta >= 0.0 && theta <= 1.0, "quantile_bin: theta outside [0,1]");
+std::size_t QuantizedPmf::quantile_bin(Probability theta) const {
+  const double level = theta.value();
+  require(level >= 0.0 && level <= 1.0, "quantile_bin: theta outside [0,1]");
   double sum = 0.0;
   for (std::size_t l = 0; l < bins(); ++l) {
     sum += mass_[l];
-    if (sum >= theta) return l;
+    if (sum >= level) return l;
   }
   return bins() - 1;
 }
 
-double QuantizedPmf::quantile_value(double theta) const {
+double QuantizedPmf::quantile_value(Probability theta) const {
   return upper_edge(quantile_bin(theta));
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/common/units.h"
 
 namespace rush {
 
@@ -65,10 +66,10 @@ class QuantizedPmf {
 
   /// Smallest bin l with cdf(l) >= theta; bins()-1 when theta exceeds the
   /// total mass (numerically).  Requires a normalised PMF.
-  std::size_t quantile_bin(double theta) const;
+  std::size_t quantile_bin(Probability theta) const;
 
   /// Demand value of the theta-quantile (upper edge of quantile_bin).
-  double quantile_value(double theta) const;
+  double quantile_value(Probability theta) const;
 
   double mean() const;
   double variance() const;

@@ -8,6 +8,7 @@
 
 #include "src/common/error.h"
 #include "src/common/thread_pool.h"
+#include "src/common/units.h"
 
 namespace rush {
 namespace {
@@ -96,7 +97,13 @@ Seconds deadline_for_level(const TasJob& j, Utility level, Seconds now, Seconds 
 /// kNoViolation when every constraint holds.
 Seconds first_edf_violation(const DeadlineDemand& active, const PeeledSet& peeled,
                             ContainerCount capacity, Seconds now) {
-  double load = 0.0;
+  // Dimension-checked walk: demand accumulates in container-seconds and is
+  // compared against the capacity x window supply — the types make a
+  // demand-vs-deadline or count-vs-work mixup a compile error, while every
+  // floating-point operation (and its order) matches the raw original
+  // bit-for-bit.
+  const units::Containers supply_rate(capacity);
+  units::ContainerSeconds load(0.0);
   std::size_t i = 0;
   std::size_t q = 0;
   const std::size_t a = active.size();
@@ -105,10 +112,12 @@ Seconds first_edf_violation(const DeadlineDemand& active, const PeeledSet& peele
     const Seconds d = (i < a && (q >= p || active[i].first <= peeled.deadline(q)))
                           ? active[i].first
                           : peeled.deadline(q);
-    while (i < a && active[i].first <= d) load += active[i++].second;
+    while (i < a && active[i].first <= d) load += units::ContainerSeconds(active[i++].second);
     while (q < p && peeled.deadline(q) <= d) ++q;
-    const double due = load + (q > 0 ? peeled.prefix(q - 1) : 0.0);
-    if (due > static_cast<double>(capacity) * (d - now) + kEdfSlack) return d;
+    const units::ContainerSeconds due =
+        load + units::ContainerSeconds(q > 0 ? peeled.prefix(q - 1) : 0.0);
+    const units::ContainerSeconds budget = supply_rate * units::Seconds(d - now);
+    if (due > budget + units::ContainerSeconds(kEdfSlack)) return d;
   }
   return kNoViolation;
 }
@@ -155,7 +164,11 @@ void sort_deadlines(const std::vector<const TasJob*>& active, ProbeScratch& scra
 /// `binding` (optional) receives the deadline attaining the minimum.
 double edf_min_slack(const DeadlineDemand& active, const PeeledSet& peeled,
                      ContainerCount capacity, Seconds now, Seconds* binding) {
-  double load = 0.0;
+  // Same dimension-checked accumulation as first_edf_violation; the slack
+  // (supply minus demand) is itself a ContainerSeconds quantity until the
+  // very last unwrap for the caller's root finder.
+  const units::Containers supply_rate(capacity);
+  units::ContainerSeconds load(0.0);
   double min_slack = std::numeric_limits<double>::infinity();
   Seconds min_deadline = kNoViolation;
   std::size_t i = 0;
@@ -166,10 +179,11 @@ double edf_min_slack(const DeadlineDemand& active, const PeeledSet& peeled,
     const Seconds d = (i < a && (q >= p || active[i].first <= peeled.deadline(q)))
                           ? active[i].first
                           : peeled.deadline(q);
-    while (i < a && active[i].first <= d) load += active[i++].second;
+    while (i < a && active[i].first <= d) load += units::ContainerSeconds(active[i++].second);
     while (q < p && peeled.deadline(q) <= d) ++q;
-    const double due = load + (q > 0 ? peeled.prefix(q - 1) : 0.0);
-    const double slack = static_cast<double>(capacity) * (d - now) - due;
+    const units::ContainerSeconds due =
+        load + units::ContainerSeconds(q > 0 ? peeled.prefix(q - 1) : 0.0);
+    const double slack = (supply_rate * units::Seconds(d - now) - due).value();
     if (slack < min_slack) {
       min_slack = slack;
       min_deadline = d;
@@ -246,7 +260,7 @@ TasResult onion_peel(const std::vector<TasJob>& jobs, ContainerCount capacity,
 
   TasResult result;
   std::vector<const TasJob*> active;
-  double total_eta = 0.0;
+  units::ContainerSeconds total_eta(0.0);
   Seconds max_runtime = 0.0;
   int layer = 0;
 
@@ -266,13 +280,18 @@ TasResult onion_peel(const std::vector<TasJob>& jobs, ContainerCount capacity,
       continue;
     }
     active.push_back(&j);
-    total_eta += j.eta;
+    total_eta += units::ContainerSeconds(j.eta);
     max_runtime = std::max(max_runtime, j.avg_task_runtime);
   }
 
   Seconds horizon = config.horizon;
   if (horizon <= now) {
-    horizon = now + 2.0 * (total_eta / static_cast<double>(capacity) + max_runtime) + 1.0;
+    // Time to drain all demand at full capacity, plus the longest task to
+    // settle — doubled for slack.  ContainerSeconds / Containers -> Seconds
+    // is the typed form of the old raw division (same fp ops, same order).
+    const units::Seconds drain_and_settle =
+        total_eta / units::Containers(capacity) + units::Seconds(max_runtime);
+    horizon = now + (2.0 * drain_and_settle).value() + 1.0;
   }
   result.horizon = horizon;
 

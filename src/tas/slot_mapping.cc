@@ -47,7 +47,7 @@ MappingResult map_time_slots(std::vector<MappingJob> jobs, ContainerCount capaci
       const long take = std::min(std::max(fit, 1L), remaining);
       MappedSegment seg;
       seg.job = job.id;
-      seg.queue = k;
+      seg.queue = QueueId(k);
       seg.start = occupation;
       seg.duration = static_cast<double>(take) * job.task_runtime;
       seg.tasks = static_cast<int>(take);
@@ -67,7 +67,7 @@ MappingResult map_time_slots(std::vector<MappingJob> jobs, ContainerCount capaci
       const int k = static_cast<int>(it - result.queue_occupation.begin());
       MappedSegment seg;
       seg.job = job.id;
-      seg.queue = k;
+      seg.queue = QueueId(k);
       seg.start = *it;
       seg.duration = job.task_runtime;
       seg.tasks = 1;

@@ -10,12 +10,20 @@
 
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/common/units.h"
 
 namespace rush {
+
+/// Opaque index of one container queue inside a mapping pass.  A strong id:
+/// comparable, but with no arithmetic — a queue is a place, not a number,
+/// and the historical `int` field let task counts and queue indices swap
+/// silently.  Default-constructed ids are invalid (-1).
+using QueueId = units::StrongId<struct QueueIdTag, std::int32_t>;
 
 /// One job to map: target deadline, remaining demand and task granule.
 struct MappingJob {
@@ -31,7 +39,7 @@ struct MappingJob {
 /// A contiguous run of one job's tasks on one container queue.
 struct MappedSegment {
   JobId job = kInvalidJob;
-  int queue = 0;
+  QueueId queue;
   Seconds start = 0.0;
   Seconds duration = 0.0;
   /// Number of whole tasks packed back-to-back in this segment.

@@ -74,8 +74,8 @@ TEST(AuditWcde, GenuineSolutionsPassAcrossThetaDeltaGrid) {
   const QuantizedPmf phi = QuantizedPmf::gaussian(60.0, 15.0, 256, 1.0);
   for (double theta : {0.5, 0.9, 0.99}) {
     for (double delta : {0.0, 0.1, 0.7, 1.5}) {
-      const WcdeResult result = solve_wcde(phi, theta, delta);
-      const AuditReport report = audit_wcde(phi, theta, delta, result);
+      const WcdeResult result = solve_wcde(phi, Probability(theta), KlRadius(delta));
+      const AuditReport report = audit_wcde(phi, Probability(theta), KlRadius(delta), result);
       EXPECT_TRUE(report.ok())
           << "theta=" << theta << " delta=" << delta << "\n" << report.summary();
     }
@@ -84,23 +84,23 @@ TEST(AuditWcde, GenuineSolutionsPassAcrossThetaDeltaGrid) {
 
 TEST(AuditWcde, UnderestimatedEtaIsCaught) {
   const QuantizedPmf phi = QuantizedPmf::gaussian(60.0, 15.0, 256, 1.0);
-  WcdeResult result = solve_wcde(phi, 0.9, 0.7);
+  WcdeResult result = solve_wcde(phi, Probability(0.9), KlRadius(0.7));
   ASSERT_GT(result.eta_bin, 8u);
   // Corrupt: claim robustness with 8 bins less than the true answer.
   result.eta_bin -= 8;
   result.eta = phi.upper_edge(result.eta_bin - 1);
-  const AuditReport report = audit_wcde(phi, 0.9, 0.7, result);
+  const AuditReport report = audit_wcde(phi, Probability(0.9), KlRadius(0.7), result);
   EXPECT_FALSE(report.ok());
   EXPECT_THROW(report.throw_if_failed(), InternalError);
 }
 
 TEST(AuditWcde, OverestimatedEtaFailsMinimality) {
   const QuantizedPmf phi = QuantizedPmf::gaussian(60.0, 15.0, 256, 1.0);
-  WcdeResult result = solve_wcde(phi, 0.9, 0.7);
+  WcdeResult result = solve_wcde(phi, Probability(0.9), KlRadius(0.7));
   ASSERT_LT(result.eta_bin + 16, phi.bins());
   result.eta_bin += 16;
   result.eta = phi.upper_edge(result.eta_bin - 1);
-  const AuditReport report = audit_wcde(phi, 0.9, 0.7, result);
+  const AuditReport report = audit_wcde(phi, Probability(0.9), KlRadius(0.7), result);
   EXPECT_FALSE(report.ok());
 }
 

@@ -172,5 +172,69 @@ TEST(Cluster, PaperTestbedShape) {
   EXPECT_EQ(nodes.size(), 6u);
 }
 
+// ClusterView::find keeps two lookup paths: the dense id_to_index map the
+// cluster maintains, and a linear-scan fallback for hand-built views whose
+// map is empty.  The fallback must stay correct while jobs are erased and
+// re-inserted (completion + re-submission churn), and must agree with the
+// indexed path on identical contents — the incremental-view seed PR made
+// the map authoritative, so any drift between the two paths is a bug.
+TEST(ClusterViewFind, LinearScanFallbackUnderChurn) {
+  ClusterView view;  // id_to_index left empty: every lookup takes the scan
+  const auto insert = [&](JobId id) {
+    JobView jv;
+    jv.id = id;
+    jv.total_tasks = static_cast<int>(id) + 1;
+    const auto at = std::lower_bound(
+        view.jobs.begin(), view.jobs.end(), id,
+        [](const JobView& j, JobId want) { return j.id < want; });
+    view.jobs.insert(at, jv);
+  };
+  const auto erase = [&](JobId id) {
+    view.jobs.erase(std::remove_if(view.jobs.begin(), view.jobs.end(),
+                                   [&](const JobView& j) { return j.id == id; }),
+                    view.jobs.end());
+  };
+
+  for (JobId id = 0; id < 6; ++id) insert(id);
+  for (JobId id = 0; id < 6; id += 2) erase(id);  // evens complete
+  insert(4);                                      // one re-submits
+  insert(9);                                      // a late arrival
+
+  for (const JobId id : {1, 3, 5, 4, 9}) {
+    const JobView* jv = view.find(id);
+    ASSERT_NE(jv, nullptr) << "job " << id;
+    EXPECT_EQ(jv->id, id);
+    EXPECT_EQ(jv->total_tasks, static_cast<int>(id) + 1);
+  }
+  for (const JobId id : {0, 2, 6, 100}) {
+    EXPECT_EQ(view.find(id), nullptr) << "job " << id;
+  }
+  EXPECT_EQ(view.find(kInvalidJob), nullptr);
+
+  // find_mutable is the same scan and must alias the stored element.
+  JobView* mutated = view.find_mutable(3);
+  ASSERT_NE(mutated, nullptr);
+  mutated->completed_tasks = 2;
+  EXPECT_EQ(view.find(3)->completed_tasks, 2);
+
+  // Rebuilding the dense map over the churned contents must change no
+  // answer: indexed lookup and the fallback are two views of one truth.
+  ClusterView indexed = view;
+  indexed.id_to_index.assign(16, -1);
+  for (std::size_t slot = 0; slot < indexed.jobs.size(); ++slot) {
+    indexed.id_to_index[static_cast<std::size_t>(indexed.jobs[slot].id)] =
+        static_cast<std::int32_t>(slot);
+  }
+  for (JobId id = 0; id < 16; ++id) {
+    const JobView* scanned = view.find(id);
+    const JobView* mapped = indexed.find(id);
+    EXPECT_EQ(scanned == nullptr, mapped == nullptr) << "job " << id;
+    if (scanned != nullptr && mapped != nullptr) {
+      EXPECT_EQ(scanned->id, mapped->id);
+      EXPECT_EQ(scanned->total_tasks, mapped->total_tasks);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rush

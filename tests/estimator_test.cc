@@ -165,7 +165,7 @@ TEST_P(CoverageTest, RobustDemandCoversTrueDemand) {
       e.observe(rng.normal_at_least(true_mean, true_std, 1.0));
     }
     const auto phi = e.remaining_demand(tasks, 256);
-    const double eta = solve_wcde(phi, theta, delta).eta;
+    const double eta = solve_wcde(phi, Probability(theta), KlRadius(delta)).eta;
     // Draw the job's true total demand.
     double demand = 0.0;
     for (int t = 0; t < tasks; ++t) demand += rng.normal_at_least(true_mean, true_std, 1.0);

@@ -48,7 +48,7 @@ TEST(QuantizedPmf, ImpulsePutsAllMassInOneBin) {
   const auto pmf = QuantizedPmf::impulse(7.3, 16, 1.0);
   EXPECT_DOUBLE_EQ(pmf.mass(7), 1.0);
   EXPECT_TRUE(pmf.is_normalized());
-  EXPECT_DOUBLE_EQ(pmf.quantile_value(0.5), 8.0);  // upper edge of bin 7
+  EXPECT_DOUBLE_EQ(pmf.quantile_value(Probability(0.5)), 8.0);  // upper edge of bin 7
 }
 
 TEST(QuantizedPmf, CdfIsMonotoneAndReachesOne) {
@@ -63,13 +63,13 @@ TEST(QuantizedPmf, CdfIsMonotoneAndReachesOne) {
 
 TEST(QuantizedPmf, QuantileMatchesManualComputation) {
   const auto pmf = QuantizedPmf::from_weights({0.1, 0.2, 0.3, 0.4}, 10.0);
-  EXPECT_EQ(pmf.quantile_bin(0.05), 0u);
-  EXPECT_EQ(pmf.quantile_bin(0.1), 0u);   // cdf(0) == 0.1 >= 0.1
-  EXPECT_EQ(pmf.quantile_bin(0.11), 1u);
-  EXPECT_EQ(pmf.quantile_bin(0.6), 2u);
-  EXPECT_EQ(pmf.quantile_bin(0.61), 3u);
-  EXPECT_EQ(pmf.quantile_bin(1.0), 3u);
-  EXPECT_DOUBLE_EQ(pmf.quantile_value(0.6), 30.0);
+  EXPECT_EQ(pmf.quantile_bin(Probability(0.05)), 0u);
+  EXPECT_EQ(pmf.quantile_bin(Probability(0.1)), 0u);   // cdf(0) == 0.1 >= 0.1
+  EXPECT_EQ(pmf.quantile_bin(Probability(0.11)), 1u);
+  EXPECT_EQ(pmf.quantile_bin(Probability(0.6)), 2u);
+  EXPECT_EQ(pmf.quantile_bin(Probability(0.61)), 3u);
+  EXPECT_EQ(pmf.quantile_bin(Probability(1.0)), 3u);
+  EXPECT_DOUBLE_EQ(pmf.quantile_value(Probability(0.6)), 30.0);
 }
 
 TEST(QuantizedPmf, GaussianMassCentersOnMean) {
@@ -151,7 +151,7 @@ TEST_P(PmfPropertyTest, GibbsInequalityAndQuantileInverse) {
   EXPECT_GE(p.kl_divergence(q), 0.0);
 
   for (double theta : {0.05, 0.25, 0.5, 0.75, 0.9, 0.99}) {
-    const std::size_t bin = p.quantile_bin(theta);
+    const std::size_t bin = p.quantile_bin(Probability(theta));
     EXPECT_GE(p.cdf(bin), theta - 1e-12);
     if (bin > 0) {
       EXPECT_LT(p.cdf(bin - 1), theta);

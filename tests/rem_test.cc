@@ -18,7 +18,7 @@ QuantizedPmf random_pmf(Rng& rng, std::size_t bins, double width = 1.0) {
 TEST(Rem, FeasibleReferenceHasZeroKl) {
   // CDF(2) of this phi is 0.3 <= theta: phi itself satisfies (10).
   const auto phi = QuantizedPmf::from_weights({0.1, 0.1, 0.1, 0.3, 0.4}, 1.0);
-  const auto result = solve_rem(phi, 2, 0.5);
+  const auto result = solve_rem(phi, 2, Probability(0.5));
   EXPECT_DOUBLE_EQ(result.kl, 0.0);
   for (std::size_t l = 0; l < phi.bins(); ++l) {
     EXPECT_DOUBLE_EQ(result.worst_case.mass(l), phi.mass(l));
@@ -28,7 +28,7 @@ TEST(Rem, FeasibleReferenceHasZeroKl) {
 TEST(Rem, RescalesHeadAndTailPerEquation11) {
   const auto phi = QuantizedPmf::from_weights({0.4, 0.4, 0.1, 0.1}, 1.0);
   const double theta = 0.5;
-  const auto result = solve_rem(phi, 1, theta);  // CDF(1) = 0.8 > theta
+  const auto result = solve_rem(phi, 1, Probability(theta));  // CDF(1) = 0.8 > theta
   // Head bins scaled by theta/0.8, tail bins by 0.5/0.2.
   EXPECT_NEAR(result.worst_case.mass(0), 0.4 * theta / 0.8, 1e-12);
   EXPECT_NEAR(result.worst_case.mass(1), 0.4 * theta / 0.8, 1e-12);
@@ -45,7 +45,7 @@ TEST(Rem, ReturnedKlMatchesDirectDivergence) {
     const auto phi = random_pmf(rng, 24);
     const std::size_t bin = static_cast<std::size_t>(rng.uniform_int(0, 22));
     const double theta = rng.uniform(0.05, 0.95);
-    const auto result = solve_rem(phi, bin, theta);
+    const auto result = solve_rem(phi, bin, Probability(theta));
     if (std::isinf(result.kl)) continue;
     EXPECT_NEAR(result.kl, result.worst_case.kl_divergence(phi), 1e-9);
   }
@@ -59,25 +59,25 @@ TEST(Rem, BinaryKlIdentity) {
       if (s <= theta) continue;
       const double expected = theta * std::log(theta / s) +
                               (1 - theta) * std::log((1 - theta) / (1 - s));
-      EXPECT_NEAR(rem_min_kl(s, theta), expected, 1e-12);
-      EXPECT_GT(rem_min_kl(s, theta), 0.0);
+      EXPECT_NEAR(rem_min_kl(Probability(s), Probability(theta)), expected, 1e-12);
+      EXPECT_GT(rem_min_kl(Probability(s), Probability(theta)), 0.0);
     }
   }
 }
 
 TEST(Rem, MinKlZeroWhenAlreadyFeasible) {
-  EXPECT_DOUBLE_EQ(rem_min_kl(0.3, 0.5), 0.0);
-  EXPECT_DOUBLE_EQ(rem_min_kl(0.5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(rem_min_kl(Probability(0.3), Probability(0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(rem_min_kl(Probability(0.5), Probability(0.5)), 0.0);
 }
 
 TEST(Rem, MinKlInfiniteWithoutTailSupport) {
-  EXPECT_TRUE(std::isinf(rem_min_kl(1.0, 0.5)));
+  EXPECT_TRUE(std::isinf(rem_min_kl(Probability(1.0), Probability(0.5))));
 }
 
 TEST(Rem, MinKlMonotoneInCdf) {
   double prev = 0.0;
   for (double s = 0.5; s < 1.0; s += 0.01) {
-    const double kl = rem_min_kl(s, 0.4);
+    const double kl = rem_min_kl(Probability(s), Probability(0.4));
     EXPECT_GE(kl, prev - 1e-12);
     prev = kl;
   }
@@ -85,12 +85,12 @@ TEST(Rem, MinKlMonotoneInCdf) {
 
 TEST(Rem, InputValidation) {
   const auto phi = QuantizedPmf::from_weights({1, 1}, 1.0);
-  EXPECT_THROW(solve_rem(phi, 5, 0.5), InvalidInput);   // bin out of range
-  EXPECT_THROW(solve_rem(phi, 0, 0.0), InvalidInput);   // theta boundary
-  EXPECT_THROW(solve_rem(phi, 0, 1.0), InvalidInput);
+  EXPECT_THROW(solve_rem(phi, 5, Probability(0.5)), InvalidInput);   // bin out of range
+  EXPECT_THROW(solve_rem(phi, 0, Probability(0.0)), InvalidInput);   // theta boundary
+  EXPECT_THROW(solve_rem(phi, 0, Probability(1.0)), InvalidInput);
   QuantizedPmf unnormalized(4, 1.0);
   unnormalized.set_mass(0, 0.3);
-  EXPECT_THROW(solve_rem(unnormalized, 0, 0.5), InvalidInput);
+  EXPECT_THROW(solve_rem(unnormalized, 0, Probability(0.5)), InvalidInput);
 }
 
 // Theorem 1 (optimality): the closed form achieves the minimum KL among
@@ -104,7 +104,7 @@ TEST_P(RemOptimalityTest, NoFeasibleCandidateBeatsClosedForm) {
   const auto phi = random_pmf(rng, bins);
   const double theta = rng.uniform(0.1, 0.9);
   const auto bin = static_cast<std::size_t>(rng.uniform_int(0, bins - 2));
-  const auto optimum = solve_rem(phi, bin, theta);
+  const auto optimum = solve_rem(phi, bin, Probability(theta));
   if (std::isinf(optimum.kl)) return;
 
   for (int candidate = 0; candidate < 300; ++candidate) {

@@ -147,12 +147,12 @@ TEST(RushConfig, AdaptiveDeltaShrinksWithSamples) {
   config.delta = 0.8;
   config.full_trust_samples = 35;
   config.delta_min = 0.1;
-  EXPECT_DOUBLE_EQ(config.delta_for(0), 0.8);
-  EXPECT_DOUBLE_EQ(config.delta_for(35), 0.8);
-  EXPECT_LT(config.delta_for(140), 0.8);
-  EXPECT_GE(config.delta_for(1000000), 0.1);
+  EXPECT_DOUBLE_EQ(config.delta_for(0).value(), 0.8);
+  EXPECT_DOUBLE_EQ(config.delta_for(35).value(), 0.8);
+  EXPECT_LT(config.delta_for(140).value(), 0.8);
+  EXPECT_GE(config.delta_for(1000000).value(), 0.1);
   config.adaptive_delta = false;
-  EXPECT_DOUBLE_EQ(config.delta_for(1000000), 0.8);
+  EXPECT_DOUBLE_EQ(config.delta_for(1000000).value(), 0.8);
 }
 
 // Fuzz property: on random inputs every plan is internally consistent —
@@ -205,7 +205,7 @@ TEST_P(PlannerFuzzTest, PlansAreAlwaysConsistent) {
   for (const PlannerJob& job : jobs) {
     const PlanEntry* entry = plan.find(job.id);
     ASSERT_NE(entry, nullptr) << "job " << job.id << " missing from plan";
-    EXPECT_GE(entry->eta, job.demand->quantile_value(config.theta) - 1e-6)
+    EXPECT_GE(entry->eta, job.demand->quantile_value(Probability(config.theta)) - 1e-6)
         << "robust demand below the reference quantile";
     EXPECT_GE(entry->target_completion, now - 1e-9);
     EXPECT_TRUE(std::isfinite(entry->target_completion));

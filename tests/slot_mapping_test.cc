@@ -13,7 +13,7 @@ namespace {
 
 // No two segments on the same queue may overlap in time.
 void expect_no_overlap(const MappingResult& result) {
-  std::map<int, std::vector<std::pair<Seconds, Seconds>>> by_queue;
+  std::map<QueueId, std::vector<std::pair<Seconds, Seconds>>> by_queue;
   for (const MappedSegment& s : result.segments) {
     by_queue[s.queue].emplace_back(s.start, s.end());
   }
@@ -21,7 +21,7 @@ void expect_no_overlap(const MappingResult& result) {
     std::sort(spans.begin(), spans.end());
     for (std::size_t i = 1; i < spans.size(); ++i) {
       EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-9)
-          << "overlap on queue " << queue;
+          << "overlap on queue " << queue.value();
     }
   }
 }

@@ -1,0 +1,108 @@
+#include "src/common/units.h"
+
+#include <map>
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace rush {
+namespace {
+
+using units::ContainerSeconds;
+using units::Containers;
+using units::Seconds;
+
+using LaneId = units::StrongId<struct LaneTag, int>;
+
+TEST(Units, AdditiveAlgebraMatchesRawArithmetic) {
+  // Zero-overhead contract: every typed expression must produce the exact
+  // bit pattern of the raw arithmetic it replaces.
+  Seconds t(7.25);
+  t += Seconds(0.5);
+  t -= Seconds(2.0);
+  EXPECT_EQ(t.value(), 7.25 + 0.5 - 2.0);
+  EXPECT_EQ((Seconds(3.0) - Seconds(10.0)).value(), 3.0 - 10.0);
+  EXPECT_EQ((-Seconds(4.5)).value(), -4.5);
+}
+
+TEST(Units, ScalingAndRatio) {
+  EXPECT_EQ((Seconds(3.0) * 2.0).value(), 6.0);
+  EXPECT_EQ((2.0 * Seconds(3.0)).value(), 6.0);
+  EXPECT_EQ((Seconds(3.0) / 2.0).value(), 1.5);
+  // Same-tag ratio cancels the dimension.
+  const double ratio = Seconds(9.0) / Seconds(4.0);
+  EXPECT_EQ(ratio, 9.0 / 4.0);
+  // Int-repped counts scale exactly by integers.
+  EXPECT_EQ((Containers(3) * 2).value(), 6);
+}
+
+TEST(Units, CrossDimensionTable) {
+  const ContainerSeconds work = Containers(4) * Seconds(2.5);
+  EXPECT_EQ(work.value(), 4 * 2.5);
+  EXPECT_EQ((Seconds(2.5) * Containers(4)).value(), 2.5 * 4);
+  EXPECT_EQ((work / Containers(4)).value(), 10.0 / 4);
+  EXPECT_EQ(work / Seconds(2.0), 10.0 / 2.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Seconds(1.0), Seconds(2.0));
+  EXPECT_GE(Seconds(2.0), Seconds(2.0));
+  EXPECT_EQ(Seconds(2.0), Seconds(2.0));
+  EXPECT_NE(Seconds(2.0), Seconds(3.0));
+}
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_EQ(Seconds().value(), 0.0);
+  EXPECT_EQ(Containers().value(), 0);
+}
+
+TEST(Units, ProbabilityAcceptsBoundaryRounding) {
+  // Prefix-CDF tails legitimately land at 1 + O(1e-12); the range contract
+  // must tolerate that while still branding the value as a probability.
+  EXPECT_EQ(Probability(0.0).value(), 0.0);
+  EXPECT_EQ(Probability(1.0).value(), 1.0);
+  EXPECT_EQ(Probability(1.0 + 1e-12).value(), 1.0 + 1e-12);
+  EXPECT_EQ(KlRadius(0.0).value(), 0.0);
+}
+
+#if defined(RUSH_ENABLE_DCHECK)
+TEST(Units, RangeContractsFireInDcheckBuilds) {
+  EXPECT_THROW(Probability(1.5), InternalError);
+  EXPECT_THROW(Probability(-0.5), InternalError);
+  EXPECT_THROW(KlRadius(-0.1), InternalError);
+}
+#endif
+
+TEST(StrongIdTest, DefaultIsInvalidSentinel) {
+  EXPECT_FALSE(LaneId().valid());
+  EXPECT_EQ(LaneId().value(), -1);
+  EXPECT_TRUE(LaneId(0).valid());
+  EXPECT_TRUE(LaneId(7).valid());
+  EXPECT_FALSE(LaneId(-3).valid());
+}
+
+TEST(StrongIdTest, OrderedAndUsableAsMapKey) {
+  EXPECT_LT(LaneId(1), LaneId(2));
+  EXPECT_EQ(LaneId(3), LaneId(3));
+  EXPECT_NE(LaneId(3), LaneId(4));
+  std::map<LaneId, int> hits;
+  hits[LaneId(2)] = 20;
+  hits[LaneId(0)] = 0;
+  hits[LaneId(1)] = 10;
+  EXPECT_EQ(hits.begin()->first, LaneId(0));
+  EXPECT_EQ(hits.rbegin()->first, LaneId(2));
+  EXPECT_EQ(hits.at(LaneId(1)), 10);
+}
+
+TEST(UnitsCompileTime, AlgebraIsConstexpr) {
+  // The whole layer must be usable in constant expressions — that is what
+  // the WILL_FAIL probes (tests/units/units_probe.cc) compile against.
+  static_assert((units::Containers(2) * units::Seconds(3.0)).value() == 6.0);
+  static_assert(Seconds(1.0) < Seconds(2.0));
+  static_assert(LaneId(1) < LaneId(2));
+  static_assert(!LaneId().valid());
+  static_assert(Probability(0.5).value() == 0.5);
+}
+
+}  // namespace
+}  // namespace rush

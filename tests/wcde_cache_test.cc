@@ -38,9 +38,9 @@ TEST(WcdeCache, CachedHitsEqualFreshSolves) {
     const QuantizedPmf phi = random_pmf(rng);
     const double theta = rng.uniform(0.05, 0.95);
     const double delta = rng.uniform(0.0, 1.5);
-    const WcdeResult fresh = solve_wcde(phi, theta, delta);
-    expect_same_result(cache.solve(phi, theta, delta), fresh);  // miss path
-    expect_same_result(cache.solve(phi, theta, delta), fresh);  // hit path
+    const WcdeResult fresh = solve_wcde(phi, Probability(theta), KlRadius(delta));
+    expect_same_result(cache.solve(phi, Probability(theta), KlRadius(delta)), fresh);  // miss path
+    expect_same_result(cache.solve(phi, Probability(theta), KlRadius(delta)), fresh);  // hit path
   }
   const WcdeCacheStats stats = cache.stats();
   EXPECT_EQ(stats.misses, 200u);
@@ -54,7 +54,7 @@ TEST(WcdeCache, DistinctThetaOrDeltaNeverShareAnEntry) {
   const QuantizedPmf phi = random_pmf(rng);
   for (double theta : {0.5, 0.9}) {
     for (double delta : {0.0, 0.3, 0.9}) {
-      expect_same_result(cache.solve(phi, theta, delta), solve_wcde(phi, theta, delta));
+      expect_same_result(cache.solve(phi, Probability(theta), KlRadius(delta)), solve_wcde(phi, Probability(theta), KlRadius(delta)));
     }
   }
   EXPECT_EQ(cache.stats().hits, 0u);
@@ -68,13 +68,13 @@ TEST(WcdeCache, MutatingAPmfInvalidatesItsEntry) {
     QuantizedPmf phi = random_pmf(rng);
     const double theta = rng.uniform(0.1, 0.9);
     const double delta = rng.uniform(0.0, 1.0);
-    expect_same_result(cache.solve(phi, theta, delta), solve_wcde(phi, theta, delta));
+    expect_same_result(cache.solve(phi, Probability(theta), KlRadius(delta)), solve_wcde(phi, Probability(theta), KlRadius(delta)));
 
     // Mutate: shift mass into a random bin and renormalise.  The mutated
     // PMF is a different key, so the stale entry can never be returned.
     phi.add_mass_at(rng.uniform(0.0, phi.tau_max()), rng.uniform(0.5, 2.0));
     phi.normalize();
-    expect_same_result(cache.solve(phi, theta, delta), solve_wcde(phi, theta, delta));
+    expect_same_result(cache.solve(phi, Probability(theta), KlRadius(delta)), solve_wcde(phi, Probability(theta), KlRadius(delta)));
   }
   EXPECT_EQ(cache.stats().hits, 0u);
   EXPECT_EQ(cache.stats().misses, 100u);
@@ -86,18 +86,18 @@ TEST(WcdeCache, ForcedFingerprintCollisionsResolveCorrectly) {
   // cache's point of view all lookups collide, and correctness must come
   // from the exact (phi, theta, delta) comparison alone.
   cache.set_fingerprint_fn_for_test(
-      [](const QuantizedPmf&, double, double) -> WcdeCache::Fingerprint { return 42; });
+      [](const QuantizedPmf&, Probability, KlRadius) -> WcdeCache::Fingerprint { return 42; });
 
   Rng rng(202);
   std::vector<QuantizedPmf> pmfs;
   std::vector<WcdeResult> fresh;
   for (int i = 0; i < 20; ++i) {
     pmfs.push_back(random_pmf(rng));
-    fresh.push_back(solve_wcde(pmfs.back(), 0.8, 0.4));
+    fresh.push_back(solve_wcde(pmfs.back(), Probability(0.8), KlRadius(0.4)));
   }
   for (int pass = 0; pass < 2; ++pass) {
     for (std::size_t i = 0; i < pmfs.size(); ++i) {
-      expect_same_result(cache.solve(pmfs[i], 0.8, 0.4), fresh[i]);
+      expect_same_result(cache.solve(pmfs[i], Probability(0.8), KlRadius(0.4)), fresh[i]);
     }
   }
   const WcdeCacheStats stats = cache.stats();
@@ -111,7 +111,7 @@ TEST(WcdeCache, EvictsLeastRecentlyUsedBeyondCapacity) {
   Rng rng(303);
   for (int i = 0; i < 200; ++i) {
     const QuantizedPmf phi = random_pmf(rng);
-    expect_same_result(cache.solve(phi, 0.9, 0.5), solve_wcde(phi, 0.9, 0.5));
+    expect_same_result(cache.solve(phi, Probability(0.9), KlRadius(0.5)), solve_wcde(phi, Probability(0.9), KlRadius(0.5)));
   }
   EXPECT_LE(cache.size(), 16u);
   EXPECT_GT(cache.stats().evictions, 0u);
@@ -136,13 +136,13 @@ TEST(WcdeCache, ConcurrentMixedLookupsStayExact) {
   std::vector<WcdeResult> fresh;
   for (std::size_t i = 0; i < distinct; ++i) {
     pmfs.push_back(random_pmf(rng));
-    fresh.push_back(solve_wcde(pmfs[i], 0.85, 0.6));
+    fresh.push_back(solve_wcde(pmfs[i], Probability(0.85), KlRadius(0.6)));
   }
   ThreadPool pool(8);
   const std::size_t lookups = 2048;
   std::vector<WcdeResult> got(lookups);
   pool.parallel_for(lookups, [&](std::size_t i) {
-    got[i] = cache.solve(pmfs[i % distinct], 0.85, 0.6);
+    got[i] = cache.solve(pmfs[i % distinct], Probability(0.85), KlRadius(0.6));
   });
   for (std::size_t i = 0; i < lookups; ++i) {
     expect_same_result(got[i], fresh[i % distinct]);
@@ -161,13 +161,13 @@ TEST(WcdeCache, ConcurrentMissesOnOneKeyNeverDuplicateEntries) {
   // shard capacity and slow every later lookup on that fingerprint).
   Rng rng(505);
   const QuantizedPmf phi = random_pmf(rng);
-  const WcdeResult fresh = solve_wcde(phi, 0.9, 0.3);
+  const WcdeResult fresh = solve_wcde(phi, Probability(0.9), KlRadius(0.3));
   ThreadPool pool(8);
   for (int round = 0; round < 20; ++round) {
     WcdeCache cache;
     std::vector<WcdeResult> got(64);
     pool.parallel_for(got.size(), [&](std::size_t i) {
-      got[i] = cache.solve(phi, 0.9, 0.3);
+      got[i] = cache.solve(phi, Probability(0.9), KlRadius(0.3));
     });
     for (const WcdeResult& r : got) expect_same_result(r, fresh);
     EXPECT_EQ(cache.size(), 1u);

@@ -21,8 +21,8 @@ TEST(Wcde, ZeroDeltaMatchesPlainQuantileUpToOneBin) {
   for (int trial = 0; trial < 25; ++trial) {
     const auto phi = random_pmf(rng, 64, 2.0);
     const double theta = rng.uniform(0.1, 0.9);
-    const auto result = solve_wcde(phi, theta, 0.0);
-    const double plain = phi.quantile_value(theta);
+    const auto result = solve_wcde(phi, Probability(theta), KlRadius(0.0));
+    const double plain = phi.quantile_value(Probability(theta));
     // delta = 0 keeps phi itself as the only candidate; the conservative
     // boundary convention may add at most one bin.
     EXPECT_GE(result.eta, plain - 1e-9);
@@ -37,7 +37,7 @@ TEST(Wcde, EtaIsMonotoneInDelta) {
   const double theta = 0.9;
   double prev = 0.0;
   for (double delta : {0.0, 0.05, 0.1, 0.3, 0.7, 1.0, 2.0}) {
-    const double eta = solve_wcde(phi, theta, delta).eta;
+    const double eta = solve_wcde(phi, Probability(theta), KlRadius(delta)).eta;
     EXPECT_GE(eta, prev - 1e-9) << "delta=" << delta;
     prev = eta;
   }
@@ -48,7 +48,7 @@ TEST(Wcde, EtaIsMonotoneInTheta) {
   const auto phi = random_pmf(rng, 128, 1.0);
   double prev = 0.0;
   for (double theta : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
-    const double eta = solve_wcde(phi, theta, 0.5).eta;
+    const double eta = solve_wcde(phi, Probability(theta), KlRadius(0.5)).eta;
     EXPECT_GE(eta, prev - 1e-9) << "theta=" << theta;
     prev = eta;
   }
@@ -60,14 +60,14 @@ TEST(Wcde, RobustEtaNeverBelowReference) {
     const auto phi = random_pmf(rng, 64, 3.0);
     const double theta = rng.uniform(0.2, 0.95);
     const double delta = rng.uniform(0.0, 1.5);
-    const auto result = solve_wcde(phi, theta, delta);
+    const auto result = solve_wcde(phi, Probability(theta), KlRadius(delta));
     EXPECT_GE(result.eta, result.reference_eta - 1e-9);
   }
 }
 
 TEST(Wcde, HugeDeltaTruncatesAtTauMax) {
   const auto phi = QuantizedPmf::from_weights(std::vector<double>(32, 1.0), 1.0);
-  const auto result = solve_wcde(phi, 0.9, 1e6);
+  const auto result = solve_wcde(phi, Probability(0.9), KlRadius(1e6));
   EXPECT_TRUE(result.truncated);
   EXPECT_DOUBLE_EQ(result.eta, phi.tau_max());
 }
@@ -76,7 +76,7 @@ TEST(Wcde, ImpulseReferenceIsImmuneToTheAdversary) {
   // All reference mass in one bin: the KL ball cannot move mass off the
   // support, so eta stays at the impulse (one conservative bin above).
   const auto phi = QuantizedPmf::impulse(10.0, 64, 1.0);
-  const auto result = solve_wcde(phi, 0.9, 5.0);
+  const auto result = solve_wcde(phi, Probability(0.9), KlRadius(5.0));
   EXPECT_FALSE(result.truncated);
   EXPECT_LE(result.eta, 12.0 + 1e-9);
   EXPECT_GE(result.eta, 10.0);
@@ -90,14 +90,14 @@ TEST(Wcde, ConsistencyWithRemFeasibility) {
     auto phi = random_pmf(rng, 48, 1.0);
     const double theta = rng.uniform(0.2, 0.9);
     const double delta = rng.uniform(0.01, 1.0);
-    const auto result = solve_wcde(phi, theta, delta);
+    const auto result = solve_wcde(phi, Probability(theta), KlRadius(delta));
     if (result.truncated) continue;
     const auto prefix = phi.prefix_cdf();
     const std::size_t guard = result.eta_bin;  // first guaranteed bin count
     ASSERT_GE(guard, 1u);
-    EXPECT_GT(rem_min_kl(prefix[guard - 1], theta), delta - 1e-12);
+    EXPECT_GT(rem_min_kl(Probability(prefix[guard - 1]), Probability(theta)), delta - 1e-12);
     if (guard >= 2) {
-      EXPECT_LE(rem_min_kl(prefix[guard - 2], theta), delta + 1e-12);
+      EXPECT_LE(rem_min_kl(Probability(prefix[guard - 2]), Probability(theta)), delta + 1e-12);
     }
   }
 }
@@ -106,17 +106,22 @@ TEST(Wcde, GaussianReferenceGrowsWithUncertainty) {
   // Same mean, wider stddev -> larger robust demand.
   const auto narrow = QuantizedPmf::gaussian(600.0, 20.0, 256, 5.0);
   const auto wide = QuantizedPmf::gaussian(600.0, 80.0, 256, 5.0);
-  const double eta_narrow = solve_wcde(narrow, 0.9, 0.7).eta;
-  const double eta_wide = solve_wcde(wide, 0.9, 0.7).eta;
+  const double eta_narrow = solve_wcde(narrow, Probability(0.9), KlRadius(0.7)).eta;
+  const double eta_wide = solve_wcde(wide, Probability(0.9), KlRadius(0.7)).eta;
   EXPECT_GT(eta_wide, eta_narrow);
   EXPECT_GT(eta_narrow, 600.0);  // above the mean: robustness costs capacity
 }
 
 TEST(Wcde, InputValidation) {
   const auto phi = QuantizedPmf::from_weights({1, 1}, 1.0);
-  EXPECT_THROW(solve_wcde(phi, 0.0, 0.5), InvalidInput);
-  EXPECT_THROW(solve_wcde(phi, 1.0, 0.5), InvalidInput);
-  EXPECT_THROW(solve_wcde(phi, 0.5, -0.1), InvalidInput);
+  EXPECT_THROW(solve_wcde(phi, Probability(0.0), KlRadius(0.5)), InvalidInput);
+  EXPECT_THROW(solve_wcde(phi, Probability(1.0), KlRadius(0.5)), InvalidInput);
+#if defined(RUSH_ENABLE_DCHECK)
+  // A negative radius now fails at construction, before solve_wcde runs.
+  EXPECT_THROW(KlRadius(-0.1), InternalError);
+#else
+  EXPECT_THROW(solve_wcde(phi, Probability(0.5), KlRadius(-0.1)), InvalidInput);
+#endif
 }
 
 // Adversarial property: sample random distributions inside the KL ball and
@@ -129,7 +134,7 @@ TEST_P(WcdeAdversaryTest, NoBallMemberExceedsEta) {
   auto phi = random_pmf(rng, 32, 1.0);
   const double theta = rng.uniform(0.3, 0.9);
   const double delta = rng.uniform(0.05, 0.8);
-  const auto result = solve_wcde(phi, theta, delta);
+  const auto result = solve_wcde(phi, Probability(theta), KlRadius(delta));
 
   for (int candidate = 0; candidate < 400; ++candidate) {
     // Random perturbation of phi (exponential tilting keeps support equal).
@@ -139,7 +144,7 @@ TEST_P(WcdeAdversaryTest, NoBallMemberExceedsEta) {
     }
     p.normalize();
     if (p.kl_divergence(phi) > delta) continue;  // outside the ball
-    EXPECT_LE(p.quantile_value(theta), result.eta + 1e-9)
+    EXPECT_LE(p.quantile_value(Probability(theta)), result.eta + 1e-9)
         << "ball member with KL " << p.kl_divergence(phi)
         << " exceeded eta=" << result.eta;
   }

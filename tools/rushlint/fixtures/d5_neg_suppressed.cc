@@ -1,0 +1,6 @@
+// D5 negative: a public config surface keeps the bare double on purpose and
+// says why.
+struct KnobConfig {
+  // rushlint: unit-ok(public config surface mirrored into XML; typed accessor exists)
+  double theta = 0.9;
+};

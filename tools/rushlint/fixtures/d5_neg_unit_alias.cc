@@ -1,0 +1,8 @@
+// D5 negative: dimension-bearing names declared through a unit alias are
+// the blessed spelling; dimensionless doubles with other names stay silent.
+using Seconds = double;
+
+struct QueueSlot {
+  Seconds deadline = 0.0;
+  double weight = 1.0;
+};

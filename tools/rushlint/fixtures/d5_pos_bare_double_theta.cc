@@ -1,0 +1,3 @@
+// D5 positive: `theta` names a coverage level (a Probability), so declaring
+// it as a bare double in a plan directory must fire.
+double plan_quantile(double theta, int bins);

@@ -1,0 +1,7 @@
+// D6 negative: the same unwrap is legal inside an allowlisted numeric
+// kernel — that is where the raw representation is supposed to escape.
+// rushlint-fixture-path: src/robust/wcde.cc
+template <class Quantity>
+double doubled_raw(const Quantity& q) {
+  return q.value() * 2.0;
+}

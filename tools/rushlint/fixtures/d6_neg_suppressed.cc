@@ -1,0 +1,7 @@
+// D6 negative: a serialization edge outside the kernel set unwraps with a
+// reason.
+template <class Quantity>
+double emitted(const Quantity& q) {
+  // rushlint: unit-escape(JSON emission needs the raw representation)
+  return q.value();
+}

@@ -1,0 +1,6 @@
+// D6 positive: unwrapping a unit with .value() outside the allowlisted
+// numeric kernels must fire (this fixture claims no kernel path).
+template <class Quantity>
+double doubled_raw(const Quantity& q) {
+  return q.value() * 2.0;
+}

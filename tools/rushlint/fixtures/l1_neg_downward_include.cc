@@ -1,0 +1,8 @@
+// L1 negative: strictly-downward includes, a same-module include, and the
+// src/check exemption (the invariant auditor is cyclic with cluster by
+// design) are all legal.
+// rushlint-fixture-path: src/core/planner_extras.cc
+#include "src/check/invariant_auditor.h"
+#include "src/common/types.h"
+#include "src/core/rush_planner.h"
+#include "src/robust/wcde.h"

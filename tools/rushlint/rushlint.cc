@@ -24,19 +24,48 @@
 //       (tools/rushlint/suppressions.baseline) — the budget can only
 //       shrink.
 //
+// v2 adds the dimensional-safety rules (DESIGN.md §5g):
+//
+//   D5  no bare `double` declaration of a dimension-bearing name (theta,
+//       delta, eta, deadline, ...) in the plan-affecting directories: the
+//       name announces a unit, so the declaration must use a unit alias
+//       from src/common/types.h or a checked type from src/common/units.h.
+//   D6  no `.value()` unwrapping in the plan-affecting directories outside
+//       the allowlisted numeric kernels (solve loops in wcde/rem/
+//       wcde_cache/slot_mapping/onion_peeling/rush_planner .cc files):
+//       arithmetic should stay inside the typed algebra; kernels and
+//       serialization edges are where the raw representation escapes.
+//   L1  module layering: every `#include "src/<m>/..."` from src/<m'>/
+//       must point at a strictly lower-ranked module (or stay inside the
+//       module).  The enforced DAG, bottom-up:
+//         0 common | 1 stats utility sim lp config | 2 robust estimator
+//         tas | 3 cluster | 4 metrics baselines workload core |
+//         5 experiments (src/check is exempt: the invariant auditor is
+//         cyclic with cluster by design).  L1 has no suppression tag —
+//       a layering violation is always fixed, never waived.
+//
 // Suppression syntax, on the flagged line or the line directly above:
 //   // rushlint: nondeterminism-ok(<reason>)   — D1
 //   // rushlint: order-insensitive(<reason>)   — D2
 //   // rushlint: float-sort-ok(<reason>)       — D3
+//   // rushlint: unit-ok(<reason>)             — D5
+//   // rushlint: unit-escape(<reason>)         — D6
 //
 // Modes:
 //   rushlint --repo-root DIR [--baseline FILE]    scan src/, tests/,
 //       examples/ under DIR (bench/ is D1-exempt by design and has no
 //       plan-affecting code, so it is not scanned)
 //   rushlint --self-test DIR                      run the fixture corpus:
-//       every file named dN_pos_* must fire exactly rule DN and nothing
-//       else; every dN_neg_* must be silent
+//       every file named dN_pos_*/lN_pos_* must fire exactly rule DN/LN
+//       and nothing else; every dN_neg_*/lN_neg_* must be silent.  A
+//       fixture opts into path-scoped rules (L1, the D6 allowlist) with a
+//       `// rushlint-fixture-path: src/...` line.
 //   rushlint [--plan-dir] FILE...                 scan explicit files
+//
+// Output: `file:line: rushlint RULE: message` per finding, or with
+// --github the GitHub Actions annotation form
+// `::error file=F,line=L::rushlint RULE: message` plus a per-rule
+// `::notice` summary, so findings surface inline on the PR diff.
 //
 // Exit status: 0 clean, 1 findings or budget violations, 2 usage error.
 
@@ -78,6 +107,13 @@ struct FileScan {
   std::string path;  // repo-relative, '/' separators
   std::vector<Token> tokens;
   std::vector<Suppression> suppressions;
+  /// Quoted include targets, collected by a raw per-line pass (the lexer
+  /// strips string literals, so the token stream cannot carry them).
+  std::vector<std::pair<int, std::string>> includes;  // (line, target)
+  /// Path a self-test fixture claims to live at (`// rushlint-fixture-path:`)
+  /// so path-scoped rules (L1, the D6 kernel allowlist) can be exercised
+  /// from the flat fixture directory.  Empty outside self-test fixtures.
+  std::string fixture_path;
 };
 
 bool is_ident_start(char c) {
@@ -133,6 +169,40 @@ void parse_directives(const std::string& comment, int line,
 FileScan lex_file(const std::string& path, const std::string& content) {
   FileScan scan;
   scan.path = path;
+  // Raw per-line pass: include targets for L1 and the fixture-path
+  // directive.  Deliberately line-oriented — a commented-out include whose
+  // line starts with `//` is skipped, which is the right call for a
+  // layering rule (the dependency is gone).
+  {
+    std::istringstream lines(content);
+    std::string raw;
+    int ln = 0;
+    while (std::getline(lines, raw)) {
+      ++ln;
+      const std::size_t first = raw.find_first_not_of(" \t");
+      if (first != std::string::npos && raw[first] == '#' &&
+          raw.find("include", first) != std::string::npos) {
+        const std::size_t q1 = raw.find('"', first);
+        const std::size_t q2 =
+            q1 == std::string::npos ? std::string::npos : raw.find('"', q1 + 1);
+        if (q2 != std::string::npos) {
+          scan.includes.emplace_back(ln, raw.substr(q1 + 1, q2 - q1 - 1));
+        }
+      }
+      const std::string marker = "rushlint-fixture-path:";
+      const std::size_t at = raw.find(marker);
+      if (at != std::string::npos) {
+        std::string rest = raw.substr(at + marker.size());
+        while (!rest.empty() && std::isspace(static_cast<unsigned char>(rest.front()))) {
+          rest.erase(rest.begin());
+        }
+        while (!rest.empty() && std::isspace(static_cast<unsigned char>(rest.back()))) {
+          rest.pop_back();
+        }
+        scan.fixture_path = rest;
+      }
+    }
+  }
   int line = 1;
   std::size_t i = 0;
   const std::size_t n = content.size();
@@ -247,12 +317,44 @@ const char* tag_for_rule(const std::string& rule) {
   if (rule == "D1") return "nondeterminism-ok";
   if (rule == "D2") return "order-insensitive";
   if (rule == "D3") return "float-sort-ok";
-  return "";
+  if (rule == "D5") return "unit-ok";
+  if (rule == "D6") return "unit-escape";
+  return "";  // L1 is unsuppressable
 }
 
 bool known_tag(const std::string& tag) {
   return tag == "nondeterminism-ok" || tag == "order-insensitive" ||
-         tag == "float-sort-ok";
+         tag == "float-sort-ok" || tag == "unit-ok" || tag == "unit-escape";
+}
+
+/// Identifiers whose name announces a physical dimension: declaring one as
+/// a bare `double` in a plan directory defeats src/common/units.h.  Exact
+/// matches only — `runtime_noise_sigma` is a dimensionless multiplier and
+/// must not fire.
+bool is_dimension_name(const std::string& s) {
+  static const std::set<std::string> kNames = {
+      "theta",    "delta",    "delta_min", "eta",       "reference_eta",
+      "deadline", "horizon",  "budget",    "completion", "arrival",
+      "runtime",  "now",      "makespan",  "latency",    "utility",
+      "priority", "demand",   "duration",  "occupation", "start",
+      "finish",   "target_completion",     "task_runtime",
+      "mean_runtime"};
+  return kNames.count(s) > 0;
+}
+
+/// The numeric kernels allowed to unwrap units with `.value()` (rule D6)
+/// and to hold raw-double locals for the inner loops (rule D5): the solve
+/// and packing kernels, where the algebra happens, plus the planner's
+/// serialization edge.  Implementation files only — interfaces stay typed.
+bool is_unit_kernel(const std::string& path) {
+  static const char* kKernels[] = {
+      "src/robust/wcde.cc",      "src/robust/rem.cc",
+      "src/robust/wcde_cache.cc", "src/tas/slot_mapping.cc",
+      "src/tas/onion_peeling.cc", "src/core/rush_planner.cc"};
+  for (const char* k : kKernels) {
+    if (path == k) return true;
+  }
+  return false;
 }
 
 class Analyzer {
@@ -287,10 +389,11 @@ class Analyzer {
     }
   }
 
-  /// Rule pass over one file.  `plan_dir` enables D2/D3; `d1_exempt`
-  /// silences D1 (src/common/rng.*, bench/).
+  /// Rule pass over one file.  `plan_dir` enables D2/D3/D5/D6; `d1_exempt`
+  /// silences D1 (src/common/rng.*, bench/); `kernel_exempt` silences
+  /// D5/D6 inside the allowlisted numeric kernels (is_unit_kernel).
   std::vector<Finding> check_file(const FileScan& scan, bool plan_dir,
-                                  bool d1_exempt,
+                                  bool d1_exempt, bool kernel_exempt,
                                   std::vector<Suppression>& suppressions) const {
     std::vector<Finding> findings;
     auto emit = [&](int line, const std::string& rule, std::string message) {
@@ -426,6 +529,36 @@ class Analyzer {
                "unstable); add an id tiebreak or use std::stable_sort");
         }
       }
+
+      // ---- D5: bare double where the name announces a dimension ---------
+      if (!kernel_exempt) {
+        for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+          if (t[i].text != "double") continue;
+          const std::string& name = t[i + 1].text;
+          const std::string& after = t[i + 2].text;
+          if (!is_dimension_name(name)) continue;
+          if (after != "," && after != ")" && after != ";" && after != "=" &&
+              after != "{") {
+            continue;
+          }
+          emit(t[i + 1].line, "D5",
+               "'" + name +
+                   "' names a dimensioned quantity but is declared as a "
+                   "bare double; use a unit alias from src/common/types.h "
+                   "or a checked type from src/common/units.h");
+        }
+
+        // ---- D6: .value() unwrapping outside the kernel allowlist -------
+        for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+          if (t[i].text == "." && t[i + 1].text == "value" &&
+              t[i + 2].text == "(") {
+            emit(t[i + 1].line, "D6",
+                 ".value() unwraps a unit outside the numeric-kernel "
+                 "allowlist; keep the arithmetic inside the typed algebra "
+                 "or move the escape to a kernel/serialization edge");
+          }
+        }
+      }
     }
 
     return findings;
@@ -558,6 +691,57 @@ bool is_d1_exempt(const std::string& path) {
   return starts_with(path, "bench/") || starts_with(path, "src/common/rng.");
 }
 
+// ---------------------------------------------------------------------------
+// L1: the module layering DAG.  Rank is position from the bottom; an include
+// is legal only into the same module or a strictly lower rank.  The table
+// mirrors DESIGN.md §5g and the CMake target graph — adding a module means
+// adding it here, consciously, at a rank.
+
+int module_rank(const std::string& module) {
+  static const std::map<std::string, int> kRank = {
+      {"common", 0},
+      {"stats", 1},   {"utility", 1},   {"sim", 1},      {"lp", 1},
+      {"config", 1},
+      {"robust", 2},  {"estimator", 2}, {"tas", 2},
+      {"cluster", 3},
+      {"metrics", 4}, {"baselines", 4}, {"workload", 4}, {"core", 4},
+      {"experiments", 5}};
+  const auto it = kRank.find(module);
+  return it == kRank.end() ? -1 : it->second;
+}
+
+/// The `src/<module>/` component of a path, or "" when not under src/.
+std::string module_of(const std::string& path) {
+  if (!starts_with(path, "src/")) return "";
+  const std::size_t slash = path.find('/', 4);
+  return slash == std::string::npos ? "" : path.substr(4, slash - 4);
+}
+
+/// Layering findings for one file.  `path` is the effective path (a
+/// fixture's claimed path in self-test).  src/check is exempt in both
+/// directions: the invariant auditor is cyclic with cluster by design.
+std::vector<Finding> layering_findings(const FileScan& scan,
+                                       const std::string& path) {
+  std::vector<Finding> findings;
+  const std::string module = module_of(path);
+  if (module.empty() || module == "check") return findings;
+  const int from = module_rank(module);
+  if (from < 0) return findings;  // unranked module: not yet in the DAG
+  for (const auto& [line, target] : scan.includes) {
+    const std::string included = module_of(target);
+    if (included.empty() || included == module || included == "check") continue;
+    const int to = module_rank(included);
+    if (to < 0 || to < from) continue;
+    findings.push_back(
+        {path, line, "L1",
+         "src/" + module + "/ (rank " + std::to_string(from) +
+             ") must not include src/" + included + "/ (rank " +
+             std::to_string(to) +
+             "): the layering DAG admits only strictly-downward includes"});
+  }
+  return findings;
+}
+
 std::string read_file(const fs::path& p) {
   std::ifstream in(p, std::ios::binary);
   std::ostringstream buffer;
@@ -570,20 +754,28 @@ struct Options {
   std::string baseline;
   std::string self_test_dir;
   bool force_plan_dir = false;
+  bool github = false;
   std::vector<std::string> files;
 };
 
 int usage() {
-  std::cerr << "usage: rushlint --repo-root DIR [--baseline FILE]\n"
+  std::cerr << "usage: rushlint --repo-root DIR [--baseline FILE] [--github]\n"
                "       rushlint --self-test FIXTURE_DIR\n"
-               "       rushlint [--plan-dir] FILE...\n";
+               "       rushlint [--plan-dir] [--github] FILE...\n";
   return 2;
 }
 
-void print_findings(const std::vector<Finding>& findings) {
+void print_findings(const std::vector<Finding>& findings, bool github = false) {
   for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": rushlint " << f.rule << ": "
-              << f.message << "\n";
+    if (github) {
+      // GitHub Actions workflow-command form: the annotation lands on the
+      // PR diff at file:line.  Messages are single-line by construction.
+      std::cout << "::error file=" << f.file << ",line=" << f.line
+                << "::rushlint " << f.rule << ": " << f.message << "\n";
+    } else {
+      std::cout << f.file << ":" << f.line << ": rushlint " << f.rule << ": "
+                << f.message << "\n";
+    }
   }
 }
 
@@ -598,7 +790,8 @@ std::vector<Finding> suppression_findings(const FileScan& scan) {
       findings.push_back({scan.path, s.line, "D4",
                           "unknown suppression tag '" + s.tag +
                               "' (expected nondeterminism-ok, "
-                              "order-insensitive or float-sort-ok)"});
+                              "order-insensitive, float-sort-ok, unit-ok "
+                              "or unit-escape)"});
     } else if (!s.used) {
       findings.push_back({scan.path, s.line, "D4",
                           "stale suppression '" + s.tag +
@@ -624,26 +817,37 @@ int run_self_test(const std::string& dir) {
   int failures = 0;
   for (const fs::path& fixture : fixtures) {
     const std::string name = fixture.filename().string();
-    // Expectation from the name: dN_pos_* fires exactly rule DN once;
-    // dN_neg_* is silent.
-    if (name.size() < 6 || name[0] != 'd' || name[2] != '_') {
+    // Expectation from the name: dN_pos_*/lN_pos_* fires exactly rule
+    // DN/LN once; dN_neg_*/lN_neg_* is silent.
+    if (name.size() < 6 || (name[0] != 'd' && name[0] != 'l') ||
+        !std::isdigit(static_cast<unsigned char>(name[1])) || name[2] != '_') {
       std::cerr << "rushlint --self-test: fixture '" << name
-                << "' must be named dN_pos_*.cc or dN_neg_*.cc\n";
+                << "' must be named dN_pos_*.cc, dN_neg_*.cc, lN_pos_*.cc "
+                   "or lN_neg_*.cc\n";
       ++failures;
       continue;
     }
-    const std::string rule = "D" + name.substr(1, 1);
+    const std::string rule =
+        std::string(1, static_cast<char>(std::toupper(name[0]))) +
+        name.substr(1, 1);
     const bool expect_fire = name.substr(3, 3) == "pos";
 
     // Each fixture is analyzed in isolation with plan-dir rules forced on,
-    // so a fixture declares exactly the state it exercises.
+    // so a fixture declares exactly the state it exercises.  Path-scoped
+    // rules (L1, the D6 kernel allowlist) see the path the fixture claims
+    // via `// rushlint-fixture-path:`, not the fixture directory.
     FileScan scan = lex_file(name, read_file(fixture));
+    const std::string effective_path =
+        scan.fixture_path.empty() ? scan.path : scan.fixture_path;
     Analyzer analyzer;
     analyzer.collect_decls(scan);
     std::vector<Finding> findings =
         analyzer.check_file(scan, /*plan_dir=*/true, /*d1_exempt=*/false,
-                            scan.suppressions);
+                            is_unit_kernel(effective_path), scan.suppressions);
     for (Finding& f : suppression_findings(scan)) findings.push_back(std::move(f));
+    for (Finding& f : layering_findings(scan, effective_path)) {
+      findings.push_back(std::move(f));
+    }
 
     bool ok;
     if (expect_fire) {
@@ -719,18 +923,28 @@ int run_scan(const Options& options) {
   std::map<std::string, int> used_suppressions;
   for (FileScan& scan : scans) {
     const bool plan_dir = options.force_plan_dir || is_plan_dir(scan.path);
-    std::vector<Finding> file_findings = analyzer.check_file(
-        scan, plan_dir, is_d1_exempt(scan.path), scan.suppressions);
+    std::vector<Finding> file_findings =
+        analyzer.check_file(scan, plan_dir, is_d1_exempt(scan.path),
+                            is_unit_kernel(scan.path), scan.suppressions);
     for (Finding& f : file_findings) findings.push_back(std::move(f));
     for (Finding& f : suppression_findings(scan)) findings.push_back(std::move(f));
+    for (Finding& f : layering_findings(scan, scan.path)) {
+      findings.push_back(std::move(f));
+    }
     for (const Suppression& s : scan.suppressions) {
       if (s.used) ++used_suppressions[s.tag];
     }
   }
 
-  print_findings(findings);
+  print_findings(findings, options.github);
   std::map<std::string, int> per_rule;
   for (const Finding& f : findings) ++per_rule[f.rule];
+  if (options.github) {
+    for (const auto& [rule, count] : per_rule) {
+      std::cout << "::notice::rushlint " << rule << ": " << count
+                << " finding(s)\n";
+    }
+  }
 
   bool budget_failed = false;
   if (!options.baseline.empty()) {
@@ -798,6 +1012,8 @@ int main(int argc, char** argv) {
       options.self_test_dir = argv[++a];
     } else if (arg == "--plan-dir") {
       options.force_plan_dir = true;
+    } else if (arg == "--github") {
+      options.github = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
