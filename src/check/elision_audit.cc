@@ -1,0 +1,71 @@
+#include "src/check/elision_audit.h"
+
+#include <string>
+
+#include "src/robust/eta_drift.h"
+
+namespace rush {
+
+namespace {
+
+std::string entry_prefix(std::size_t index, JobId id) {
+  return "entry " + std::to_string(index) + " (job " + std::to_string(id) + ") ";
+}
+
+}  // namespace
+
+AuditReport audit_elision(const Plan& cached, const Plan& fresh, double tolerance) {
+  AuditReport report("ReplanElision");
+  const bool exact = tolerance <= 0.0;
+
+  report.check(cached.entries.size() == fresh.entries.size(), "entry_count",
+               "cached " + std::to_string(cached.entries.size()) + " vs fresh " +
+                   std::to_string(fresh.entries.size()));
+  if (cached.entries.size() != fresh.entries.size()) return report;
+  if (exact) {
+    report.check(cached.computed_at == fresh.computed_at, "computed_at",
+                 "cached " + std::to_string(cached.computed_at) + " vs fresh " +
+                     std::to_string(fresh.computed_at));
+  }
+
+  for (std::size_t i = 0; i < cached.entries.size(); ++i) {
+    const PlanEntry& got = cached.entries[i];
+    const PlanEntry& want = fresh.entries[i];
+    const std::string prefix = entry_prefix(i, want.id);
+    report.check(got.id == want.id, "entry_id",
+                 prefix + "cached holds job " + std::to_string(got.id));
+    if (got.id != want.id) continue;  // field diffs would be meaningless
+    if (exact) {
+      // Tolerance 0: the gate promised bit-equal planner inputs at the same
+      // timestamp, so planner determinism makes every output field equal.
+      report.check(got.eta == want.eta, "eta",
+                   prefix + "cached " + std::to_string(got.eta) + " vs fresh " +
+                       std::to_string(want.eta));
+      report.check(got.target_completion == want.target_completion,
+                   "target_completion",
+                   prefix + "cached " + std::to_string(got.target_completion) +
+                       " vs fresh " + std::to_string(want.target_completion));
+      report.check(got.utility_level == want.utility_level, "utility_level",
+                   prefix + "cached " + std::to_string(got.utility_level) +
+                       " vs fresh " + std::to_string(want.utility_level));
+      report.check(got.impossible == want.impossible, "impossible",
+                   prefix + "impossible flag drifted");
+      report.check(got.desired_containers == want.desired_containers,
+                   "desired_containers",
+                   prefix + "cached " + std::to_string(got.desired_containers) +
+                       " vs fresh " + std::to_string(want.desired_containers));
+    } else {
+      // Positive tolerance: the cached plan may lag the fresh one, but no
+      // job's robust demand may have drifted past what the gate tolerates.
+      report.check(eta_within_tolerance(got.eta, want.eta, tolerance), "eta_drift",
+                   prefix + "cached " + std::to_string(got.eta) + " vs fresh " +
+                       std::to_string(want.eta) + " exceeds tolerance " +
+                       std::to_string(tolerance));
+      report.check(got.desired_containers >= 0, "desired_sane",
+                   prefix + "negative desired_containers");
+    }
+  }
+  return report;
+}
+
+}  // namespace rush

@@ -1,0 +1,31 @@
+// Elision-equivalence audit for replan elision (DESIGN.md §5h).
+//
+// When the scheduler serves a wave from the cached plan instead of running a
+// planning pass, RUSH_DCHECK builds (and release builds with
+// audit_invariants) recompute the plan fresh and hand both to this audit.
+// At tolerance 0 the elision gate only fires on bit-equal inputs at the
+// cached plan's own timestamp, so the cached plan must match the fresh one
+// byte for byte — every entry field, in the same sorted order.  At a
+// positive tolerance the cached plan is allowed to lag: the audit then
+// checks structure (same jobs, same timestamp base sanity) and that each
+// cached eta is within the tolerance of the fresh one — the bounded-loss
+// regime's per-job drift contract.
+//
+// Like the other audits it is a pure observer returning an AuditReport;
+// call throw_if_failed() on RUSH_DCHECK paths.
+
+#pragma once
+
+#include "src/check/audit_report.h"
+#include "src/core/rush_planner.h"
+
+namespace rush {
+
+/// Compares the cached plan an elided wave is about to serve against a
+/// freshly computed reference plan over the same view.  `tolerance` is the
+/// RushConfig::replan_eta_tolerance the gate ran with: <= 0 demands
+/// bit-equality of every entry and the timestamp; positive demands equal
+/// job sets and per-entry eta drift within the tolerance.
+AuditReport audit_elision(const Plan& cached, const Plan& fresh, double tolerance);
+
+}  // namespace rush

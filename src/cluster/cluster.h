@@ -105,6 +105,10 @@ struct RunResult {
   double plan_map_us = 0.0;
   long plan_wcde_cache_hits = 0;
   long plan_wcde_cache_misses = 0;
+  /// Waves served by the cached plan via replan elision, and peel layers
+  /// replayed verbatim from the previous pass (DESIGN.md §5h).
+  long plan_elided = 0;
+  long plan_layers_replayed = 0;
 
   /// Scheduler-seam accounting (DESIGN.md §5e).  `dispatch_waves` counts
   /// dispatch rounds; `view_updates` counts incremental refresh passes over

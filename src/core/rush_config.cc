@@ -22,6 +22,8 @@ void RushConfig::validate() const {
   require(delta_min >= 0.0, "RushConfig: delta_min must be non-negative");
   require(planner_threads >= 0, "RushConfig: planner_threads must be >= 0");
   require(wcde_cache_capacity >= 1, "RushConfig: wcde_cache_capacity must be >= 1");
+  require(std::isfinite(replan_eta_tolerance) && replan_eta_tolerance >= 0.0,
+          "RushConfig: replan_eta_tolerance must be finite and non-negative");
   require(prior.mean_runtime > 0.0, "RushConfig: prior mean must be positive");
 }
 

@@ -41,6 +41,16 @@ int RushPlanner::planner_threads() const {
   return pool_ != nullptr ? pool_->threads() : 1;
 }
 
+ContainerSeconds RushPlanner::solve_eta(const PlannerJob& job) const {
+  require(job.demand != nullptr, "RushPlanner::solve_eta: job without demand snapshot");
+  const Probability theta = config_.theta_level();
+  const KlRadius delta = config_.delta_for(job.samples);
+  const WcdeResult result = config_.wcde_cache
+                                ? wcde_cache_.solve(*job.demand, theta, delta)
+                                : solve_wcde(*job.demand, theta, delta);
+  return result.eta;
+}
+
 Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capacity,
                        Seconds now) const {
   require(capacity > 0, "RushPlanner::plan: capacity must be positive");
@@ -120,10 +130,47 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
   peel_config.pool = pool_.get();
   const bool warm = config_.warm_start_peeling && !peel_hint_.empty();
   if (warm) peel_config.warm_hint = &peel_hint_;
+  // Layer replay (DESIGN.md §5h): at a positive elision tolerance, classify
+  // which jobs' etas moved beyond it since the previous pass and let the
+  // peel carry the unmoved prefix of layers over from that pass's targets.
+  // Any job without a baseline (an arrival) disables replay for the pass —
+  // its demand lands in every layer's constraint set.
+  PeelReplay replay;
+  const bool replay_armed = config_.warm_start_peeling &&
+                            config_.replan_eta_tolerance > 0.0 &&
+                            !prev_targets_.empty();
+  if (replay_armed) {
+    moved_scratch_.clear();
+    bool known = true;
+    for (const TasJob& tj : scratch.tas_jobs) {
+      const ContainerSeconds* baseline = prev_etas_.planned_eta(tj.id);
+      if (baseline == nullptr) {
+        known = false;
+        break;
+      }
+      if (!eta_within_tolerance(*baseline, tj.eta, config_.replan_eta_tolerance)) {
+        moved_scratch_.push_back(tj.id);
+      }
+    }
+    if (known) {
+      std::sort(moved_scratch_.begin(), moved_scratch_.end());
+      replay.targets = &prev_targets_;
+      replay.moved = &moved_scratch_;
+      replay.tolerance = config_.replan_eta_tolerance;
+      peel_config.replay = &replay;
+    }
+  }
   TasResult tas = onion_peel(scratch.tas_jobs, capacity, now, peel_config);
   result.peel_probes = tas.probes;
   if (config_.warm_start_peeling) {
     peel_hint_ = std::move(tas.hint);
+  }
+  if (config_.warm_start_peeling && config_.replan_eta_tolerance > 0.0) {
+    std::vector<std::pair<JobId, ContainerSeconds>> planned;
+    planned.reserve(scratch.tas_jobs.size());
+    for (const TasJob& tj : scratch.tas_jobs) planned.emplace_back(tj.id, tj.eta);
+    prev_etas_.commit(std::move(planned));
+    prev_targets_ = tas.targets;
   }
   if (audit) {
     audit_tas(tas, scratch.tas_jobs, capacity, now).throw_if_failed();
@@ -182,6 +229,7 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
   stats_.map_us += elapsed_us(t_peel, t_map);
   stats_.peel_probes += tas.probes;
   stats_.warm_layers += tas.warm_layers;
+  stats_.layers_replayed += tas.replayed_layers;
   const WcdeCacheStats cache = wcde_cache_.stats();
   stats_.wcde_cache_hits = static_cast<long>(cache.hits);
   stats_.wcde_cache_misses = static_cast<long>(cache.misses);

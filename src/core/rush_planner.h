@@ -18,6 +18,7 @@
 #include "src/common/thread_pool.h"
 #include "src/common/types.h"
 #include "src/core/rush_config.h"
+#include "src/robust/eta_drift.h"
 #include "src/robust/wcde.h"
 #include "src/robust/wcde_cache.h"
 #include "src/stats/pmf.h"
@@ -103,6 +104,13 @@ struct PlanStats {
   /// Snapshot of the WCDE cache counters (planner lifetime).
   long wcde_cache_hits = 0;
   long wcde_cache_misses = 0;
+  /// Waves served by the cached plan instead of a pass (replan elision,
+  /// DESIGN.md §5h).  passes + plans_elided reconciles with the waves that
+  /// needed a current plan.
+  long plans_elided = 0;
+  /// Accumulated layers replayed verbatim from the previous pass's
+  /// TasResult on passes that did run (PeelReplay).
+  long layers_replayed = 0;
 };
 
 class RushPlanner {
@@ -124,6 +132,17 @@ class RushPlanner {
   /// next as a warm start.
   Plan plan(const std::vector<PlannerJob>& jobs, ContainerCount capacity,
             Seconds now) const;
+
+  /// Solves the robust demand eta of one job exactly as a full pass would
+  /// (same theta, same adaptive delta, same WCDE cache), without running
+  /// the pass — the elision gate's per-stale-job drift check.  Cache hits
+  /// from here are shared with later passes, so a gate check that ends in
+  /// a replan has already paid that job's WCDE.
+  ContainerSeconds solve_eta(const PlannerJob& job) const;
+
+  /// Records a wave served by the cached plan without a pass (replan
+  /// elision); shows up as PlanStats::plans_elided.
+  void record_elided_pass() { ++stats_.plans_elided; }
 
   const RushConfig& config() const { return config_; }
 
@@ -162,6 +181,14 @@ class RushPlanner {
   /// Previous pass's per-layer peel levels (empty until the first pass, or
   /// always when warm_start_peeling is off).
   mutable PeelHint peel_hint_;
+  /// Layer-replay state across passes (populated only when
+  /// warm_start_peeling is on and replan_eta_tolerance is positive): the
+  /// previous pass's targets in peel order, and the eta each job carried
+  /// into that pass (the drift baseline classifying moved layers).
+  mutable std::vector<TasTarget> prev_targets_;
+  mutable EtaDeltaTracker prev_etas_;
+  /// Scratch for the per-pass moved-job classification.
+  mutable std::vector<JobId> moved_scratch_;
   mutable PlanStats stats_;
 };
 

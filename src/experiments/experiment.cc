@@ -97,6 +97,8 @@ RunResult run_experiment(const std::string& scheduler_name,
     result.plan_map_us = stats.map_us;
     result.plan_wcde_cache_hits = stats.wcde_cache_hits;
     result.plan_wcde_cache_misses = stats.wcde_cache_misses;
+    result.plan_elided = stats.plans_elided;
+    result.plan_layers_replayed = stats.layers_replayed;
   }
   return result;
 }

@@ -1,0 +1,38 @@
+#include "src/robust/eta_drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rush {
+
+double eta_drift(ContainerSeconds planned, ContainerSeconds fresh) {
+  const double scale = std::max(std::abs(planned), 1.0);
+  return std::abs(fresh - planned) / scale;
+}
+
+bool eta_within_tolerance(ContainerSeconds planned, ContainerSeconds fresh,
+                          double tolerance) {
+  if (tolerance <= 0.0) return planned == fresh;
+  return eta_drift(planned, fresh) <= tolerance;
+}
+
+void EtaDeltaTracker::commit(
+    std::vector<std::pair<JobId, ContainerSeconds>> planned) {
+  planned_ = std::move(planned);
+  std::sort(planned_.begin(), planned_.end(),
+            [](const std::pair<JobId, ContainerSeconds>& a,
+               const std::pair<JobId, ContainerSeconds>& b) {
+              return a.first < b.first;
+            });
+}
+
+const ContainerSeconds* EtaDeltaTracker::planned_eta(JobId id) const {
+  const auto it = std::lower_bound(
+      planned_.begin(), planned_.end(), id,
+      [](const std::pair<JobId, ContainerSeconds>& e, JobId want) {
+        return e.first < want;
+      });
+  return it != planned_.end() && it->first == id ? &it->second : nullptr;
+}
+
+}  // namespace rush

@@ -1,0 +1,56 @@
+// Eta-delta tracking beside the WCDE cache (DESIGN.md §5h).
+//
+// Replan elision needs one question answered cheaply: "did any robust
+// demand eta_i move, and by how much, since the plan we are about to
+// reuse was committed?"  The WCDE cache already pins *recomputation* cost
+// to the jobs whose PMF changed; this header pins *change detection* to
+// the same jobs.  The drift metric is relative with a one-container-second
+// floor, so a job draining its last granules (tiny absolute eta) cannot
+// blow the ratio up, and tolerance 0 degenerates to bit-equality — the
+// contract the tolerance-0 elision proof rests on.
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace rush {
+
+/// Relative drift between the eta a committed plan consumed and a freshly
+/// solved one: |fresh - planned| / max(|planned|, 1 container-second).
+double eta_drift(ContainerSeconds planned, ContainerSeconds fresh);
+
+/// True when `fresh` is within `tolerance` relative drift of `planned`.
+/// Tolerance 0 (or negative) demands bit-equality — no epsilon: the
+/// tolerance-0 elision gate promises byte-identical plans, and that proof
+/// needs identical planner inputs, not merely close ones.
+bool eta_within_tolerance(ContainerSeconds planned, ContainerSeconds fresh,
+                          double tolerance);
+
+/// Remembers the eta each job carried into the last committed planning
+/// pass — the change-detection baseline of replan elision and layer
+/// replay.  Entries are kept sorted by job id, so lookups are binary
+/// searches and iteration order is deterministic (rushlint D2).
+class EtaDeltaTracker {
+ public:
+  /// Replaces the baseline with the (id, eta) pairs of a freshly committed
+  /// pass.  The pairs may arrive in any order; they are sorted by id here.
+  /// Duplicate ids are invalid input (planner passes reject them first).
+  void commit(std::vector<std::pair<JobId, ContainerSeconds>> planned);
+
+  /// The baseline eta of `id`, or nullptr when the job was not part of the
+  /// committed pass (arrival since the baseline).
+  const ContainerSeconds* planned_eta(JobId id) const;
+
+  bool empty() const { return planned_.empty(); }
+  std::size_t size() const { return planned_.size(); }
+  void clear() { planned_.clear(); }
+
+ private:
+  std::vector<std::pair<JobId, ContainerSeconds>> planned_;
+};
+
+}  // namespace rush
