@@ -87,6 +87,7 @@ int main() {
   const int jobs = static_cast<int>(rush::env_or("RUSH_E2E_JOBS", 32.0));
   const auto seed = static_cast<std::uint64_t>(rush::env_or("RUSH_E2E_SEED", 4242.0));
   const double min_ratio = rush::env_or("RUSH_E2E_MIN_PROBE_RATIO", 0.0);
+  const double max_wcde_us = rush::env_or("RUSH_E2E_MAX_WCDE_US", 0.0);
 
   const ModeResult cold = rush::run_mode(false, jobs, seed);
   const ModeResult warm = rush::run_mode(true, jobs, seed);
@@ -173,6 +174,16 @@ int main() {
     std::fprintf(stderr,
                  "e2e_profile: FAIL — probe ratio %.2fx below required %.2fx\n",
                  ratio, min_ratio);
+    return 1;
+  }
+  // Perf-smoke gate on the batched WCDE stage (DESIGN.md §5i): the warm
+  // pass's per-pass WCDE microseconds must stay under the budget.  Warm, not
+  // cold, because the steady-state feedback cycle is what the paper's Fig 5
+  // overhead story measures.
+  if (max_wcde_us > 0.0 && warm.overhead.wcde_us > max_wcde_us) {
+    std::fprintf(stderr,
+                 "e2e_profile: FAIL — warm WCDE %.2f us/pass above budget %.2f\n",
+                 warm.overhead.wcde_us, max_wcde_us);
     return 1;
   }
   return 0;

@@ -1,0 +1,194 @@
+// Batched-WCDE microbenchmark — the DESIGN.md §5i speedup as one
+// reproducible number series.
+//
+// For each batch size (1, 8, 32, 128) the same set of 256-bin gaussian
+// demand PMFs is solved three ways:
+//
+//   scalar          solve_wcde, allocating its prefix buffer per solve —
+//                   the pre-SoA reference path,
+//   scalar+scratch  solve_wcde with a reused WcdeScratch (the singleton
+//                   fallback the planner uses),
+//   batched         solve_wcde_batch over the shared PMF arena.
+//
+// All three produce bit-identical results (asserted here on every row —
+// a benchmark that drifted from the reference would measure the wrong
+// kernel).  Microseconds per solve land in out/wcde_batch.csv and
+// BENCH_wcde.json, provenance-stamped; the per-size speedup is batched
+// relative to plain scalar.
+//
+// Exit status: non-zero when $RUSH_WCDE_MIN_SPEEDUP is set and the batched
+// speedup at the largest size falls below it.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/provenance.h"
+#include "src/common/rng.h"
+#include "src/metrics/csv.h"
+#include "src/metrics/text_table.h"
+#include "src/robust/wcde.h"
+#include "src/robust/wcde_batch.h"
+
+namespace rush {
+namespace {
+
+constexpr std::size_t kBins = 256;
+constexpr double kTheta = 0.9;
+/// One shared binning across the batch (the arena requirement): wide enough
+/// that the largest mean's upper tail still fits the support.
+constexpr double kBinWidth = 2000.0 * 3.5 / static_cast<double>(kBins);
+
+struct SizeResult {
+  std::size_t size = 0;
+  double scalar_us = 0.0;
+  double scratch_us = 0.0;
+  double batched_us = 0.0;
+};
+
+double env_or(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' ? std::atof(value) : fallback;
+}
+
+SizeResult run_size(std::size_t size, Rng& rng) {
+  std::vector<QuantizedPmf> phis;
+  std::vector<KlRadius> deltas;
+  std::vector<const QuantizedPmf*> views;
+  for (std::size_t r = 0; r < size; ++r) {
+    const double mean = rng.uniform(20.0, 2000.0);
+    phis.push_back(QuantizedPmf::gaussian(mean, rng.uniform(0.05, 0.4) * mean,
+                                          kBins, kBinWidth));
+    deltas.push_back(KlRadius(rng.uniform(0.0, 1.2)));
+    views.push_back(&phis.back());
+  }
+  // vector growth may reallocate; re-point the views at the final storage.
+  for (std::size_t r = 0; r < size; ++r) views[r] = &phis[r];
+
+  const std::size_t reps = std::max<std::size_t>(1, 20000 / size);
+  const Probability theta(kTheta);
+  using Clock = std::chrono::steady_clock;
+  const auto us_per_solve = [&](Clock::time_point from, Clock::time_point to) {
+    return std::chrono::duration<double, std::micro>(to - from).count() /
+           static_cast<double>(reps * size);
+  };
+
+  SizeResult result;
+  result.size = size;
+  std::vector<WcdeResult> reference(size);
+
+  const auto t0 = Clock::now();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t r = 0; r < size; ++r) {
+      reference[r] = solve_wcde(phis[r], theta, deltas[r]);
+    }
+  }
+  const auto t1 = Clock::now();
+  result.scalar_us = us_per_solve(t0, t1);
+
+  WcdeScratch scratch;
+  std::vector<WcdeResult> with_scratch(size);
+  const auto t2 = Clock::now();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t r = 0; r < size; ++r) {
+      with_scratch[r] = solve_wcde(phis[r], theta, deltas[r], scratch);
+    }
+  }
+  const auto t3 = Clock::now();
+  result.scratch_us = us_per_solve(t2, t3);
+
+  WcdeBatchScratch batch_scratch;
+  std::vector<WcdeResult> batched(size);
+  const auto t4 = Clock::now();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    solve_wcde_batch(views, theta, deltas, batched, batch_scratch);
+  }
+  const auto t5 = Clock::now();
+  result.batched_us = us_per_solve(t4, t5);
+
+  for (std::size_t r = 0; r < size; ++r) {
+    if (with_scratch[r].eta != reference[r].eta ||
+        batched[r].eta != reference[r].eta ||
+        batched[r].eta_bin != reference[r].eta_bin ||
+        batched[r].reference_eta != reference[r].reference_eta ||
+        batched[r].truncated != reference[r].truncated) {
+      std::fprintf(stderr,
+                   "wcde_batch: FAIL — size %zu row %zu diverged from the "
+                   "scalar reference\n",
+                   size, r);
+      std::exit(2);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace rush
+
+int main() {
+  using rush::SizeResult;
+  using rush::TextTable;
+
+  const double min_speedup = rush::env_or("RUSH_WCDE_MIN_SPEEDUP", 0.0);
+
+  rush::Rng rng(20260808);
+  std::vector<SizeResult> results;
+  for (const std::size_t size : {1u, 8u, 32u, 128u}) {
+    results.push_back(rush::run_size(size, rng));
+  }
+
+  const std::string csv_path = rush::output_path("wcde_batch.csv");
+  rush::CsvWriter csv(csv_path, {"batch_size", "scalar_us_per_solve",
+                                 "scalar_scratch_us_per_solve",
+                                 "batched_us_per_solve", "batched_speedup"});
+  TextTable table({"size", "scalar us", "scratch us", "batched us", "speedup"});
+  for (const SizeResult& r : results) {
+    const double speedup = r.batched_us > 0.0 ? r.scalar_us / r.batched_us : 0.0;
+    csv.add_row({std::to_string(r.size), TextTable::num(r.scalar_us, 3),
+                 TextTable::num(r.scratch_us, 3), TextTable::num(r.batched_us, 3),
+                 TextTable::num(speedup, 2)});
+    table.add_row({std::to_string(r.size), TextTable::num(r.scalar_us, 3),
+                   TextTable::num(r.scratch_us, 3), TextTable::num(r.batched_us, 3),
+                   TextTable::num(speedup, 2)});
+  }
+  table.print(std::cout);
+  std::printf("wrote %s\n", csv_path.c_str());
+
+  const char* json_env = std::getenv("RUSH_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr && *json_env != '\0' ? json_env : "BENCH_wcde.json";
+  {
+    std::ofstream json(json_path, std::ios::trunc);
+    json << "{\n"
+         << "  \"bench\": \"wcde_batch\",\n"
+         << rush_bench::provenance_json_fields()
+         << "  \"bins\": " << rush::kBins << ",\n"
+         << "  \"theta\": " << rush::kTheta << ",\n"
+         << "  \"sizes\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const SizeResult& r = results[i];
+      json << (i == 0 ? "" : ", ") << "{\"batch_size\": " << r.size
+           << ", \"scalar_us\": " << r.scalar_us
+           << ", \"scalar_scratch_us\": " << r.scratch_us
+           << ", \"batched_us\": " << r.batched_us << "}";
+    }
+    json << "]\n}\n";
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  const SizeResult& largest = results.back();
+  const double speedup =
+      largest.batched_us > 0.0 ? largest.scalar_us / largest.batched_us : 0.0;
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "wcde_batch: FAIL — batched speedup %.2fx at size %zu below "
+                 "required %.2fx\n",
+                 speedup, largest.size, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -115,6 +115,39 @@ AuditReport audit_wcde(const QuantizedPmf& phi, Probability theta_level, KlRadiu
   return report;
 }
 
+AuditReport audit_wcde_batch(std::span<const QuantizedPmf* const> phis,
+                             Probability theta, std::span<const KlRadius> deltas,
+                             std::span<const WcdeResult> results) {
+  AuditReport report("WcdeBatch");
+  report.check(phis.size() == deltas.size() && phis.size() == results.size(),
+               "wcde_batch.sizes",
+               cat("phis ", phis.size(), " / deltas ", deltas.size(),
+                   " / results ", results.size(), " sizes differ"));
+  if (!report.ok()) return report;
+
+  // The contract is bit-identity with the scalar solver, so every field is
+  // compared with ==; any tolerance here would let a lockstep divergence
+  // slide until it flipped a plan downstream.
+  for (std::size_t r = 0; r < phis.size(); ++r) {
+    const WcdeResult reference = solve_wcde(*phis[r], theta, deltas[r]);
+    const WcdeResult& batched = results[r];
+    report.check(batched.eta == reference.eta, "wcde_batch.eta",
+                 cat("row ", r, ": batched eta ", batched.eta,
+                     " != scalar eta ", reference.eta));
+    report.check(batched.eta_bin == reference.eta_bin, "wcde_batch.eta_bin",
+                 cat("row ", r, ": batched eta_bin ", batched.eta_bin,
+                     " != scalar eta_bin ", reference.eta_bin));
+    report.check(batched.reference_eta == reference.reference_eta,
+                 "wcde_batch.reference_eta",
+                 cat("row ", r, ": batched reference_eta ", batched.reference_eta,
+                     " != scalar ", reference.reference_eta));
+    report.check(batched.truncated == reference.truncated, "wcde_batch.truncated",
+                 cat("row ", r, ": batched truncated ", batched.truncated,
+                     " != scalar ", reference.truncated));
+  }
+  return report;
+}
+
 AuditReport audit_tas(const TasResult& result, const std::vector<TasJob>& jobs,
                       ContainerCount capacity, Seconds now,
                       const AuditOptions& options) {

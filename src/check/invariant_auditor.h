@@ -22,6 +22,7 @@
 
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "src/check/audit_report.h"
@@ -57,6 +58,14 @@ AuditReport audit_pmf(const QuantizedPmf& pmf, const AuditOptions& options = {})
 /// lies inside the KL ball.
 AuditReport audit_wcde(const QuantizedPmf& phi, Probability theta, KlRadius delta,
                        const WcdeResult& result, const AuditOptions& options = {});
+
+/// Checks a batched WCDE solve against the scalar reference: re-solves every
+/// row with solve_wcde and compares eta, eta_bin, reference_eta and
+/// truncated with ==, no tolerance — the bit-identity contract of
+/// solve_wcde_batch (DESIGN.md §5i).  The three spans must have equal size.
+AuditReport audit_wcde_batch(std::span<const QuantizedPmf* const> phis,
+                             Probability theta, std::span<const KlRadius> deltas,
+                             std::span<const WcdeResult> results);
 
 /// Checks an onion-peeling result against the jobs it was computed from:
 /// exactly one target per job, monotone layer numbers and utility levels in

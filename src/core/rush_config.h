@@ -105,6 +105,15 @@ struct RushConfig {
   /// Cache entries kept before least-recently-used eviction.
   std::size_t wcde_cache_capacity = 4096;
 
+  /// Routes the jobs that still need a WCDE solve after the cache probe —
+  /// the dirty set of the pass — through the batched SoA kernel
+  /// (solve_wcde_batch, DESIGN.md §5i): one shared PMF arena, all
+  /// bisections advanced in lockstep, singleton groups falling back to the
+  /// scalar solver.  The kernel is bit-identical to solve_wcde (audited per
+  /// row in DCHECK/audit builds), so this is purely a latency knob; off =
+  /// the per-job scalar reference path.
+  bool wcde_batch = true;
+
   /// Runs the invariant auditor (src/check) on every planning pass — WCDE
   /// robustness, onion-peeling EDF feasibility and slot-mapping queue
   /// occupation — and throws InternalError on any violation.  Always on in

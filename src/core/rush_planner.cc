@@ -51,6 +51,139 @@ ContainerSeconds RushPlanner::solve_eta(const PlannerJob& job) const {
   return result.eta;
 }
 
+void RushPlanner::solve_wcde_stage(const std::vector<PlannerJob>& jobs,
+                                   bool audit) const {
+  PassScratch& scratch = scratch_;
+  const Probability theta = config_.theta_level();
+  const bool cached = config_.wcde_cache;
+  constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  scratch.job_radius.resize(jobs.size());
+  scratch.miss_job.clear();
+  scratch.miss_unique.clear();
+  scratch.unique_job.clear();
+  scratch.unique_fp.clear();
+  scratch.dedupe.clear();
+
+  // Probe phase.  The sharded cache — including its exact-PMF guard — stays
+  // the outer layer; only probe misses reach batch assembly.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const PlannerJob& job = jobs[i];
+    const KlRadius radius = config_.delta_for(job.samples);
+    scratch.job_radius[i] = radius;
+    WcdeCache::Fingerprint fp = 0;
+    if (cached &&
+        wcde_cache_.try_get(*job.demand, theta, radius, &scratch.wcde_of[i], &fp)) {
+      continue;
+    }
+    // Dedupe within the pass: misses sharing one (PMF, delta) triple (theta
+    // is pass-global) collapse onto one unique-solve slot.  The fingerprint
+    // buckets are consulted by lookup only, and every candidate is verified
+    // bit-exact — a hash collision costs a comparison, never correctness.
+    std::uint32_t slot = kNoSlot;
+    if (cached) {
+      std::vector<std::uint32_t>& bucket = scratch.dedupe[fp];
+      for (const std::uint32_t candidate : bucket) {
+        const std::size_t other = scratch.unique_job[candidate];
+        if (scratch.job_radius[other] == radius &&
+            *jobs[other].demand == *job.demand) {
+          slot = candidate;
+          break;
+        }
+      }
+      if (slot == kNoSlot) {
+        slot = static_cast<std::uint32_t>(scratch.unique_job.size());
+        bucket.push_back(slot);
+        scratch.unique_job.push_back(static_cast<std::uint32_t>(i));
+        scratch.unique_fp.push_back(fp);
+      }
+    } else {
+      // Without the cache there are no fingerprints to dedupe on; every job
+      // gets its own row, exactly like the legacy per-job path.
+      slot = static_cast<std::uint32_t>(scratch.unique_job.size());
+      scratch.unique_job.push_back(static_cast<std::uint32_t>(i));
+      scratch.unique_fp.push_back(0);
+    }
+    scratch.miss_job.push_back(static_cast<std::uint32_t>(i));
+    scratch.miss_unique.push_back(slot);
+  }
+
+  // Solve phase: group the unique misses by binning — the arena holds one
+  // (bins, bin_width) per batch — in first-appearance order.  Singleton
+  // groups take the scalar solver (lockstep over one row buys nothing);
+  // everything else goes through the batch kernel.
+  scratch.unique_result.resize(scratch.unique_job.size());
+  scratch.group_keys.clear();
+  for (std::size_t u = 0; u < scratch.unique_job.size(); ++u) {
+    const QuantizedPmf& phi = *jobs[scratch.unique_job[u]].demand;
+    const std::pair<std::size_t, double> key{phi.bins(), phi.bin_width()};
+    if (std::find(scratch.group_keys.begin(), scratch.group_keys.end(), key) ==
+        scratch.group_keys.end()) {
+      scratch.group_keys.push_back(key);
+    }
+  }
+  for (const std::pair<std::size_t, double>& key : scratch.group_keys) {
+    scratch.group_rows.clear();
+    for (std::size_t u = 0; u < scratch.unique_job.size(); ++u) {
+      const QuantizedPmf& phi = *jobs[scratch.unique_job[u]].demand;
+      if (phi.bins() == key.first && phi.bin_width() == key.second) {
+        scratch.group_rows.push_back(static_cast<std::uint32_t>(u));
+      }
+    }
+    if (scratch.group_rows.size() == 1) {
+      const std::uint32_t u = scratch.group_rows[0];
+      const std::size_t i = scratch.unique_job[u];
+      scratch.unique_result[u] = solve_wcde(*jobs[i].demand, theta,
+                                            scratch.job_radius[i],
+                                            scratch.scalar_scratch);
+      stats_.wcde_scalar_solves += 1;
+      continue;
+    }
+    scratch.batch_phis.clear();
+    scratch.batch_radii.clear();
+    for (const std::uint32_t u : scratch.group_rows) {
+      const std::size_t i = scratch.unique_job[u];
+      scratch.batch_phis.push_back(jobs[i].demand.get());
+      scratch.batch_radii.push_back(scratch.job_radius[i]);
+    }
+    scratch.batch_out.resize(scratch.group_rows.size());
+    solve_wcde_batch(scratch.batch_phis, theta, scratch.batch_radii,
+                     scratch.batch_out, scratch.batch_scratch);
+    stats_.wcde_batch_rows += static_cast<long>(scratch.group_rows.size());
+    stats_.wcde_batch_groups += 1;
+    if (audit) {
+      // Differential audit: every batched row re-solved by the scalar
+      // reference and compared with ==, the §5i bit-identity contract.
+      audit_wcde_batch(scratch.batch_phis, theta, scratch.batch_radii,
+                       scratch.batch_out)
+          .throw_if_failed();
+    }
+    for (std::size_t k = 0; k < scratch.group_rows.size(); ++k) {
+      scratch.unique_result[scratch.group_rows[k]] = scratch.batch_out[k];
+    }
+  }
+
+  // Scatter + publish: every miss takes its slot's result; each unique
+  // solve enters the cache once (insert re-checks for concurrent equals,
+  // so this is safe even though probes of this pass already missed).
+  for (std::size_t m = 0; m < scratch.miss_job.size(); ++m) {
+    scratch.wcde_of[scratch.miss_job[m]] = scratch.unique_result[scratch.miss_unique[m]];
+  }
+  if (cached) {
+    for (std::size_t u = 0; u < scratch.unique_job.size(); ++u) {
+      const std::size_t i = scratch.unique_job[u];
+      wcde_cache_.insert(*jobs[i].demand, theta, scratch.job_radius[i],
+                         scratch.unique_result[u], scratch.unique_fp[u]);
+    }
+  }
+  if (audit) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      audit_wcde(*jobs[i].demand, theta, scratch.job_radius[i], scratch.wcde_of[i])
+          .throw_if_failed();
+    }
+  }
+}
+
 Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capacity,
                        Seconds now) const {
   require(capacity > 0, "RushPlanner::plan: capacity must be positive");
@@ -62,30 +195,36 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
   PassScratch& scratch = scratch_;
   const auto t_start = ProfileClock::now();
 
-  // Step 1 — WCDE per job.  The solves are decoupled across jobs (§III-A),
-  // so they fan out across the pool; each iteration writes only its own
-  // index slot, and the merge below walks the slots in job order, keeping
-  // the plan bit-for-bit identical to the serial path.
+  // Step 1 — WCDE per job.  The solves are decoupled across jobs (§III-A).
+  // With config.wcde_batch the stage probes the cache per job and routes
+  // the miss set through the lockstep SoA kernel (solve_wcde_stage); the
+  // legacy path fans per-job solves across the pool.  Either way results
+  // land in job-order slots, keeping the plan bit-for-bit identical to the
+  // serial scalar reference.
   for (const PlannerJob& job : jobs) {
     require(job.utility != nullptr, "RushPlanner::plan: job without utility");
     require(job.demand != nullptr, "RushPlanner::plan: job without demand snapshot");
   }
   scratch.wcde_of.resize(jobs.size());
-  const auto solve_one = [&](std::size_t i) {
-    const PlannerJob& job = jobs[i];
-    const Probability theta = config_.theta_level();
-    const KlRadius delta = config_.delta_for(job.samples);
-    scratch.wcde_of[i] = config_.wcde_cache
-                             ? wcde_cache_.solve(*job.demand, theta, delta)
-                             : solve_wcde(*job.demand, theta, delta);
-    if (audit) {
-      audit_wcde(*job.demand, theta, delta, scratch.wcde_of[i]).throw_if_failed();
-    }
-  };
-  if (pool_ != nullptr) {
-    pool_->parallel_for(jobs.size(), solve_one);
+  if (config_.wcde_batch) {
+    solve_wcde_stage(jobs, audit);
   } else {
-    for (std::size_t i = 0; i < jobs.size(); ++i) solve_one(i);
+    const auto solve_one = [&](std::size_t i) {
+      const PlannerJob& job = jobs[i];
+      const Probability theta = config_.theta_level();
+      const KlRadius delta = config_.delta_for(job.samples);
+      scratch.wcde_of[i] = config_.wcde_cache
+                               ? wcde_cache_.solve(*job.demand, theta, delta)
+                               : solve_wcde(*job.demand, theta, delta);
+      if (audit) {
+        audit_wcde(*job.demand, theta, delta, scratch.wcde_of[i]).throw_if_failed();
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->parallel_for(jobs.size(), solve_one);
+    } else {
+      for (std::size_t i = 0; i < jobs.size(); ++i) solve_one(i);
+    }
   }
 
   scratch.tas_jobs.clear();

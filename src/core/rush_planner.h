@@ -12,7 +12,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -20,6 +23,7 @@
 #include "src/core/rush_config.h"
 #include "src/robust/eta_drift.h"
 #include "src/robust/wcde.h"
+#include "src/robust/wcde_batch.h"
 #include "src/robust/wcde_cache.h"
 #include "src/stats/pmf.h"
 #include "src/tas/onion_peeling.h"
@@ -111,6 +115,13 @@ struct PlanStats {
   /// Accumulated layers replayed verbatim from the previous pass's
   /// TasResult on passes that did run (PeelReplay).
   long layers_replayed = 0;
+  /// Batched-WCDE accounting of the SoA stage (config.wcde_batch, DESIGN.md
+  /// §5i): rows solved through solve_wcde_batch, kernel launches, and
+  /// singleton-group solves that took the scalar fallback.  All zero when
+  /// wcde_batch is off (the legacy fan-out does not account per solve).
+  long wcde_batch_rows = 0;
+  long wcde_batch_groups = 0;
+  long wcde_scalar_solves = 0;
 };
 
 class RushPlanner {
@@ -169,7 +180,43 @@ class RushPlanner {
     std::vector<Seconds> entry_runtime;
     std::vector<Seconds> head_start;
     std::vector<JobId> head_job;
+
+    // Batched-WCDE stage buffers (solve_wcde_stage, config.wcde_batch).
+    /// Scalar fallback for singleton groups.
+    WcdeScratch scalar_scratch;
+    /// SoA arena + lockstep state of the batch kernel.
+    WcdeBatchScratch batch_scratch;
+    /// Per-job adaptive KL radius of the current pass.
+    std::vector<KlRadius> job_radius;
+    /// Cache-probe misses in job order: the job index and the unique-solve
+    /// slot each one aliases (within-pass duplicates share a slot).
+    std::vector<std::uint32_t> miss_job;
+    std::vector<std::uint32_t> miss_unique;
+    /// Unique solves: first job index carrying the triple, its cache
+    /// fingerprint, and the solved result to scatter/insert.
+    std::vector<std::uint32_t> unique_job;
+    std::vector<WcdeCache::Fingerprint> unique_fp;
+    std::vector<WcdeResult> unique_result;
+    /// Fingerprint -> unique-solve slots sharing it.  Consulted by lookup
+    /// only and every candidate verified bit-exact — never iterated, so
+    /// hash order cannot leak into the plan (rushlint D2).
+    std::unordered_map<WcdeCache::Fingerprint, std::vector<std::uint32_t>> dedupe;
+    /// Distinct (bins, bin_width) binnings in first-appearance order, and
+    /// the unique slots of the group being assembled.
+    std::vector<std::pair<std::size_t, double>> group_keys;
+    std::vector<std::uint32_t> group_rows;
+    /// Kernel argument spans of the group being solved.
+    std::vector<const QuantizedPmf*> batch_phis;
+    std::vector<KlRadius> batch_radii;
+    std::vector<WcdeResult> batch_out;
   };
+
+  /// Step 1 of a pass when config.wcde_batch is on: probe the cache per
+  /// job, dedupe the misses, group them by binning and solve each group
+  /// through solve_wcde_batch (scalar fallback for singletons), then
+  /// scatter results into scratch_.wcde_of and insert the unique solves
+  /// into the cache.  Bit-identical to the per-job fan-out path.
+  void solve_wcde_stage(const std::vector<PlannerJob>& jobs, bool audit) const;
 
   RushConfig config_;
   /// Memoizes (PMF, theta, delta) -> WcdeResult across passes.  Mutable:

@@ -7,6 +7,18 @@
 
 namespace rush {
 
+RemThetaTerms rem_theta_terms(Probability theta_level) {
+  // Numeric kernel edge: unwrap once, compute in raw doubles below.
+  const double theta = theta_level.value();
+  require(theta > 0.0 && theta < 1.0, "rem_theta_terms: theta must be in (0,1)");
+  RemThetaTerms terms;
+  terms.level = theta;
+  terms.complement = 1.0 - theta;
+  terms.head_entropy = theta * std::log(theta);
+  terms.tail_entropy = terms.complement * std::log(terms.complement);
+  return terms;
+}
+
 double rem_min_kl(Probability reference_cdf_at_bin, Probability theta_level) {
   // Numeric kernel edge: unwrap once, compute in raw doubles below.
   const double theta = theta_level.value();
@@ -19,7 +31,7 @@ double rem_min_kl(Probability reference_cdf_at_bin, Probability theta_level) {
     // mass past L, so the constraint is unreachable at finite divergence.
     return std::numeric_limits<double>::infinity();
   }
-  return theta * std::log(theta / s) + (1.0 - theta) * std::log((1.0 - theta) / (1.0 - s));
+  return rem_min_kl_terms(s, rem_theta_terms(theta_level));
 }
 
 RemResult solve_rem(const QuantizedPmf& phi, std::size_t bin, Probability theta_level) {

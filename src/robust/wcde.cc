@@ -1,29 +1,69 @@
 #include "src/robust/wcde.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/common/error.h"
 #include "src/robust/rem.h"
 
 namespace rush {
 
-WcdeResult solve_wcde(const QuantizedPmf& phi, Probability theta, KlRadius delta_radius) {
-  require(theta.value() > 0.0 && theta.value() < 1.0, "solve_wcde: theta must be in (0,1)");
+WcdeResult solve_wcde(const QuantizedPmf& phi, Probability theta, KlRadius delta) {
+  WcdeScratch scratch;
+  return solve_wcde(phi, theta, delta, scratch);
+}
+
+WcdeResult solve_wcde(const QuantizedPmf& phi, Probability theta_level,
+                      KlRadius delta_radius, WcdeScratch& scratch) {
+  const double theta = theta_level.value();
+  require(theta > 0.0 && theta < 1.0, "solve_wcde: theta must be in (0,1)");
   // Numeric kernel edge: the bisection compares raw divergences.
   const double delta = delta_radius.value();
   require(delta >= 0.0, "solve_wcde: delta must be non-negative");
 
-  QuantizedPmf reference = phi;
-  reference.normalize();
-  const std::vector<double> prefix = reference.prefix_cdf();
-  const auto last = static_cast<std::ptrdiff_t>(reference.bins()) - 1;
+  // Prefix CDF with the normalisation folded in: per bin this divides by the
+  // total and accumulates left to right — exactly what a normalize() copy
+  // followed by prefix_cdf() computed, without materialising either.  A PMF
+  // whose total is exactly 1.0 skips the divisions (x / 1.0 == x, so the
+  // skip is bit-invisible; it just saves the work).
+  const std::size_t bins = phi.bins();
+  const double total = phi.total_mass();
+  require(total > 0.0, "solve_wcde: demand PMF has zero total mass");
+  scratch.prefix.resize(bins);
+  double* prefix = scratch.prefix.data();
+  double sum = 0.0;
+  if (total == 1.0) {
+    for (std::size_t l = 0; l < bins; ++l) {
+      sum += phi.mass(l);
+      prefix[l] = sum;
+    }
+  } else {
+    for (std::size_t l = 0; l < bins; ++l) {
+      sum += phi.mass(l) / total;
+      prefix[l] = sum;
+    }
+  }
+  const auto last = static_cast<std::ptrdiff_t>(bins) - 1;
 
   // feasible(L): some distribution within the KL ball keeps CDF(L) <= theta,
   // i.e. the adversary can still push the theta-quantile beyond bin L.
   // rem_min_kl is non-decreasing in the CDF value, and the CDF is
   // non-decreasing in L, so feasibility is monotone: true on a prefix of L.
+  // The theta-only log terms are hoisted out of the probes (RemThetaTerms);
+  // the per-probe branches below mirror rem_min_kl's cases exactly.
+  const RemThetaTerms terms = rem_theta_terms(theta_level);
   const auto feasible = [&](std::ptrdiff_t bin) {
-    return rem_min_kl(Probability(prefix[static_cast<std::size_t>(bin)]), theta) <= delta;
+    const double s = prefix[static_cast<std::size_t>(bin)];
+    require(s >= -1e-12 && s <= 1.0 + 1e-12, "rem_min_kl: CDF value outside [0,1]");
+    double kl;
+    if (s <= theta) {
+      kl = 0.0;
+    } else if (s >= 1.0) {
+      kl = std::numeric_limits<double>::infinity();
+    } else {
+      kl = rem_min_kl_terms(s, terms);
+    }
+    return kl <= delta;
   };
 
   // Largest feasible L in [-1, last]; L = -1 (empty prefix, CDF 0) is always
@@ -49,8 +89,18 @@ WcdeResult solve_wcde(const QuantizedPmf& phi, Probability theta, KlRadius delta
   // bin lo+1 (clamped into range when truncated).
   const auto eta_bin = static_cast<std::size_t>(std::min(lo + 1, last));
   result.eta_bin = eta_bin + 1;  // number of guaranteed bins
-  result.eta = reference.upper_edge(eta_bin);
-  result.reference_eta = reference.quantile_value(theta);
+  result.eta = phi.upper_edge(eta_bin);
+  // The plain theta-quantile read off the prefix CDF: smallest bin whose
+  // running sum reaches theta (the partial sums are the same bits
+  // quantile_bin accumulates on a normalised copy), last bin as fallback.
+  std::size_t quantile = bins - 1;
+  for (std::size_t l = 0; l < bins; ++l) {
+    if (prefix[l] >= theta) {
+      quantile = l;
+      break;
+    }
+  }
+  result.reference_eta = phi.upper_edge(quantile);
   return result;
 }
 

@@ -9,6 +9,8 @@
 
 #pragma once
 
+#include <vector>
+
 #include "src/common/units.h"
 #include "src/stats/pmf.h"
 
@@ -28,13 +30,27 @@ struct WcdeResult {
   bool truncated = false;
 };
 
+/// Reusable buffers of one scalar WCDE solve, so repeated solves (the
+/// planner's singleton-batch fallback, benches, audits in a loop) allocate
+/// nothing after the first call.  The prefix CDF is built directly from
+/// phi's masses — normalisation is folded into the accumulation, never
+/// materialised as a copied PMF.
+struct WcdeScratch {
+  std::vector<double> prefix;
+};
+
 /// Solves WCDE by bisection over the candidate objective value L
 /// (monotone feasibility, O(bins) prefix pass + O(log bins) probes).
 ///
-/// @param phi    reference demand PMF (will be normalised internally)
+/// @param phi    reference demand PMF (normalisation is folded into the
+///               prefix pass; phi itself is never copied)
 /// @param theta  completion probability requirement, in (0,1)
 /// @param delta  KL ball radius (entropy threshold), >= 0; delta = 0
 ///               degenerates to the plain theta-quantile of phi
 WcdeResult solve_wcde(const QuantizedPmf& phi, Probability theta, KlRadius delta);
+
+/// Allocation-free overload: identical result, caller-owned buffers.
+WcdeResult solve_wcde(const QuantizedPmf& phi, Probability theta, KlRadius delta,
+                      WcdeScratch& scratch);
 
 }  // namespace rush

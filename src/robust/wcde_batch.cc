@@ -1,0 +1,162 @@
+#include "src/robust/wcde_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.h"
+#include "src/robust/rem.h"
+
+namespace rush {
+
+void solve_wcde_batch(std::span<const QuantizedPmf* const> phis,
+                      Probability theta_level, std::span<const KlRadius> deltas,
+                      std::span<WcdeResult> out, WcdeBatchScratch& scratch) {
+  const std::size_t rows = phis.size();
+  require(rows > 0, "solve_wcde_batch: empty batch");
+  require(deltas.size() == rows && out.size() == rows,
+          "solve_wcde_batch: phis/deltas/out sizes differ");
+  // Numeric kernel edge: unwrap once, run the lockstep loops in raw doubles.
+  const double theta = theta_level.value();
+  require(theta > 0.0 && theta < 1.0, "solve_wcde_batch: theta must be in (0,1)");
+
+  // Batch assembly: every row into the SoA planes (normalisation folded in,
+  // bit-identical to the scalar prefix — see pmf_arena.h).
+  const std::size_t bins = phis[0]->bins();
+  const double bin_width = phis[0]->bin_width();
+  scratch.arena.reset(rows, bins, bin_width);
+  for (std::size_t r = 0; r < rows; ++r) {
+    scratch.arena.load_row(r, *phis[r]);
+  }
+  scratch.arena.finalize();
+  const double* prefix = scratch.arena.prefix_plane();
+  const std::size_t stride = scratch.arena.row_stride();
+
+  scratch.radii.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double radius = deltas[r].value();
+    require(radius >= 0.0 && std::isfinite(radius),
+            "solve_wcde_batch: deltas must be finite and non-negative");
+    scratch.radii[r] = radius;
+  }
+
+  const RemThetaTerms terms = rem_theta_terms(theta_level);
+  const auto last = static_cast<std::int32_t>(bins) - 1;
+
+  scratch.lo.assign(rows, -1);
+  scratch.hi.assign(rows, last);
+  scratch.probe.assign(rows, last);
+  scratch.cdf.resize(rows);
+  scratch.divergence.resize(rows);
+
+  std::int32_t* lo = scratch.lo.data();
+  std::int32_t* hi = scratch.hi.data();
+  std::int32_t* probe = scratch.probe.data();
+  double* cdf = scratch.cdf.data();
+  double* divergence = scratch.divergence.data();
+  const double* radii = scratch.radii.data();
+
+  // Lockstep bisection.  Iteration 0 probes the last bin for every row (the
+  // scalar's `if (feasible(hi)) lo = hi` check); later iterations probe each
+  // row's own midpoint.  A row is done once hi - lo <= 1; the masked selects
+  // then hold its state, so early finishers ride along untouched while the
+  // stragglers converge — per row, the (probe, feasibility) sequence is
+  // exactly the scalar one, on the same prefix bits, so the final {lo, hi}
+  // match solve_wcde's bit for bit.
+  bool seeding = true;
+  while (true) {
+    if (!seeding) {
+      std::int32_t active_rows = 0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        active_rows += (hi[r] - lo[r] > 1) ? 1 : 0;
+      }
+      if (active_rows == 0) break;
+      for (std::size_t r = 0; r < rows; ++r) {
+        probe[r] = lo[r] + (hi[r] - lo[r]) / 2;
+      }
+    }
+    seeding = false;
+
+    // Gather + minimal divergence for the still-active rows.  An active
+    // row's midpoint is always in range (lo >= -1 and hi - lo > 1 give
+    // mid >= 0), and the per-row branches mirror rem_min_kl's cases
+    // exactly: zero at or below theta, infinite at CDF >= 1,
+    // rem_min_kl_terms between.  Done rows are skipped — their slot in
+    // `divergence` is stale but the state update below masks them off.
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (hi[r] - lo[r] <= 1) continue;
+      const double s = prefix[static_cast<std::size_t>(probe[r]) * stride + r];
+      require(s >= -1e-12 && s <= 1.0 + 1e-12,
+              "rem_min_kl: CDF value outside [0,1]");
+      double kl = 0.0;
+      if (s > theta) {
+        kl = (s >= 1.0) ? std::numeric_limits<double>::infinity()
+                        : rem_min_kl_terms(s, terms);
+      }
+      divergence[r] = kl;
+    }
+
+    // Branch-free masked state update (the vectorizable sweep).  Feasible
+    // collapses to divergence <= radius: rows at or below theta carry a zero
+    // divergence and every radius is non-negative, rows at CDF >= 1 carry
+    // +inf against a finite radius — both match the scalar branches.
+    for (std::size_t r = 0; r < rows; ++r) {
+      const bool active = (hi[r] - lo[r]) > 1;
+      const bool ok = divergence[r] <= radii[r];
+      lo[r] = (active && ok) ? probe[r] : lo[r];
+      hi[r] = (active && !ok) ? probe[r] : hi[r];
+    }
+  }
+
+  // eta / truncation from the converged bisection state.
+  for (std::size_t r = 0; r < rows; ++r) {
+    WcdeResult result;
+    const std::int32_t lo_r = lo[r];
+    result.truncated = (lo_r >= last - 1);
+    const auto idx = static_cast<std::size_t>(std::min(lo_r + 1, last));
+    result.eta_bin = idx + 1;
+    result.eta = bin_width * static_cast<double>(idx + 1);
+    out[r] = result;
+  }
+
+  // Reference quantile: the largest bin whose prefix is still strictly
+  // below theta, found by a second lockstep bisection over the same plane
+  // (state arrays reused).  The prefix CDF is non-decreasing — each step
+  // adds a non-negative normalised mass — so `prefix < theta` holds on a
+  // prefix of bins and binary search lands on exactly the bin the scalar
+  // first-crossing scan finds.  O(log bins) row sweeps instead of a full
+  // O(bins) plane count.
+  std::fill(lo, lo + rows, -1);
+  std::fill(hi, hi + rows, last);
+  std::fill(probe, probe + rows, last);
+  seeding = true;
+  while (true) {
+    if (!seeding) {
+      std::int32_t active_rows = 0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        active_rows += (hi[r] - lo[r] > 1) ? 1 : 0;
+      }
+      if (active_rows == 0) break;
+      for (std::size_t r = 0; r < rows; ++r) {
+        probe[r] = lo[r] + (hi[r] - lo[r]) / 2;
+      }
+    }
+    seeding = false;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (hi[r] - lo[r] <= 1) continue;
+      cdf[r] = prefix[static_cast<std::size_t>(probe[r]) * stride + r];
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      const bool active = (hi[r] - lo[r]) > 1;
+      const bool ok = cdf[r] < theta;
+      lo[r] = (active && ok) ? probe[r] : lo[r];
+      hi[r] = (active && !ok) ? probe[r] : hi[r];
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto quantile = static_cast<std::size_t>(std::min(lo[r] + 1, last));
+    out[r].reference_eta = bin_width * static_cast<double>(quantile + 1);
+  }
+}
+
+}  // namespace rush

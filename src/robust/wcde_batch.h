@@ -1,0 +1,69 @@
+// Batched Worst-Case Distribution Estimation — the lockstep form of
+// solve_wcde (Algorithm 2) over a whole batch of same-binning demand PMFs.
+//
+// One planning pass solves WCDE for every dirty job.  solve_wcde walks one
+// QuantizedPmf at a time; solve_wcde_batch restructures that stage around
+// the SoA PmfArena (DESIGN.md §5i): the batch's prefix CDFs live in one
+// bin-major plane, and the bisection advances every row together — each
+// iteration sweeps contiguous per-row {lo, hi} state arrays with branch-free
+// masked selects, the auto-vectorization target verified by
+// scripts/check_vectorization.sh.
+//
+// CONTRACT — bit-identical, not ULP-tolerant: for every row r,
+//
+//     solve_wcde_batch(...)[r] == solve_wcde(*phis[r], theta, deltas[r])
+//
+// with ==, not a tolerance, on eta, eta_bin, reference_eta and truncated.
+// The equivalence is structural: the arena planes reproduce the scalar
+// prefix bits (see pmf_arena.h), each row's {lo, hi} pair evolves through
+// exactly the scalar probe sequence (same midpoints, same feasibility
+// bits — rem_min_kl_terms with the same hoisted RemThetaTerms), and the
+// reference quantile comes from a second lockstep bisection on the
+// monotone predicate `prefix < theta`, which lands on the same bin as the
+// scalar first-crossing scan because the prefix CDF is non-decreasing.
+// src/check/invariant_auditor.cc re-derives this equality per row in
+// DCHECK/audited builds.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/robust/wcde.h"
+#include "src/stats/pmf_arena.h"
+
+namespace rush {
+
+/// Reusable buffers of one batched solve.  The planner keeps one alive
+/// across passes, so steady-state batch assembly allocates nothing.
+struct WcdeBatchScratch {
+  PmfArena arena;
+  /// Per-row bisection state: largest known-feasible bin (-1 = none) and
+  /// smallest known-infeasible bin.
+  std::vector<std::int32_t> lo;
+  std::vector<std::int32_t> hi;
+  /// Per-row probe bin of the current iteration.
+  std::vector<std::int32_t> probe;
+  /// Per-row prefix-CDF value gathered at the probe bin.
+  std::vector<double> cdf;
+  /// Per-row minimal KL divergence at the probe bin (0 when cdf <= theta).
+  std::vector<double> divergence;
+  /// Per-row KL ball radius, unwrapped once at batch entry.
+  std::vector<double> radii;
+};
+
+/// Solves WCDE for all rows in lockstep.  Requirements:
+///   - phis, deltas and out have the same non-zero size;
+///   - every *phis[r] shares one (bins, bin_width) binning and has positive
+///     total mass;
+///   - theta is in (0,1) and every delta is finite and >= 0 (the branch-free
+///     feasibility mask folds the CDF >= 1 "infinite divergence" case into
+///     the comparison, which needs a finite radius on the other side).
+/// Writes out[r] for every row; identical bits to the scalar solve_wcde.
+void solve_wcde_batch(std::span<const QuantizedPmf* const> phis,
+                      Probability theta, std::span<const KlRadius> deltas,
+                      std::span<WcdeResult> out, WcdeBatchScratch& scratch);
+
+}  // namespace rush

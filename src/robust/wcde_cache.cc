@@ -9,16 +9,28 @@ namespace rush {
 
 namespace {
 
+// Word-at-a-time FNV-1a: one xor-multiply per 64-bit value instead of the
+// eight per-byte folds of classic FNV.  Whole-word mixing diffuses low bits
+// into high bits only, so fingerprint() finishes with an avalanche step.
 inline void fnv1a_mix(std::uint64_t& hash, std::uint64_t value) {
   constexpr std::uint64_t kPrime = 0x100000001B3ULL;
-  for (int byte = 0; byte < 8; ++byte) {
-    hash ^= (value >> (8 * byte)) & 0xFFULL;
-    hash *= kPrime;
-  }
+  hash ^= value;
+  hash *= kPrime;
 }
 
 inline void fnv1a_mix(std::uint64_t& hash, double value) {
   fnv1a_mix(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+// MurmurHash3 fmix64: spreads the mixed state across all 64 bits so shard
+// selection (fp % kShards, a low-bits consumer) stays uniform.
+inline std::uint64_t avalanche(std::uint64_t hash) {
+  hash ^= hash >> 33;
+  hash *= 0xFF51AFD7ED558CCDULL;
+  hash ^= hash >> 33;
+  hash *= 0xC4CEB9FE1A85EC53ULL;
+  hash ^= hash >> 33;
+  return hash;
 }
 
 }  // namespace
@@ -38,7 +50,7 @@ WcdeCache::Fingerprint WcdeCache::fingerprint(const QuantizedPmf& phi, Probabili
   // Serialization edge: the fingerprint hashes raw bit patterns.
   fnv1a_mix(hash, theta.value());
   fnv1a_mix(hash, delta.value());
-  return hash;
+  return avalanche(hash);
 }
 
 void WcdeCache::set_fingerprint_fn_for_test(FingerprintFn fn) {
@@ -46,43 +58,47 @@ void WcdeCache::set_fingerprint_fn_for_test(FingerprintFn fn) {
   fingerprint_fn_ = fn;
 }
 
-WcdeResult WcdeCache::solve(const QuantizedPmf& phi, Probability theta, KlRadius delta) {
+bool WcdeCache::try_get(const QuantizedPmf& phi, Probability theta, KlRadius delta,
+                        WcdeResult* result, Fingerprint* fp_out) {
+  require(result != nullptr, "WcdeCache::try_get: result must not be null");
   const Fingerprint fp = fingerprint_fn_(phi, theta, delta);
+  if (fp_out != nullptr) *fp_out = fp;
   Shard& shard = shard_for(fp);
   bool fingerprint_matched = false;
-  {
-    MutexLock lock(shard.mutex);
-    // rushlint: order-insensitive(bucket scan selects by bit-exact equality; at most one entry matches)
-    auto [it, end] = shard.entry_table.equal_range(fp);
-    for (; it != end; ++it) {
-      Entry& entry = it->second;
-      fingerprint_matched = true;
-      if (entry.theta == theta && entry.delta == delta && entry.phi == phi) {
-        entry.last_used = ++shard.clock;
-        ++shard.stats.hits;
-        return entry.result;
-      }
+  MutexLock lock(shard.mutex);
+  // rushlint: order-insensitive(bucket scan selects by bit-exact equality; at most one entry matches)
+  auto [it, end] = shard.entry_table.equal_range(fp);
+  for (; it != end; ++it) {
+    Entry& entry = it->second;
+    fingerprint_matched = true;
+    if (entry.theta == theta && entry.delta == delta && entry.phi == phi) {
+      entry.last_used = ++shard.clock;
+      ++shard.stats.hits;
+      *result = entry.result;
+      return true;
     }
-    if (fingerprint_matched) ++shard.stats.collisions;
   }
+  if (fingerprint_matched) ++shard.stats.collisions;
+  ++shard.stats.misses;
+  return false;
+}
 
-  // Miss: solve outside the lock so concurrent misses do not serialize.
-  const WcdeResult result = solve_wcde(phi, theta, delta);
-
+void WcdeCache::insert(const QuantizedPmf& phi, Probability theta, KlRadius delta,
+                       const WcdeResult& result, Fingerprint fp) {
+  Shard& shard = shard_for(fp);
   MutexLock lock(shard.mutex);
   // Another thread may have missed on the same inputs concurrently and
-  // inserted while we solved.  Re-scan before emplacing: a duplicate entry
-  // would permanently eat shard capacity and slow every later lookup on
-  // this fingerprint.  solve_wcde is deterministic, so refreshing the
-  // existing entry and returning our result are equivalent.
+  // inserted while the caller solved.  Re-scan before emplacing: a duplicate
+  // entry would permanently eat shard capacity and slow every later lookup
+  // on this fingerprint.  solve_wcde is deterministic, so refreshing the
+  // existing entry is equivalent to replacing it.
   // rushlint: order-insensitive(bucket scan selects by bit-exact equality; at most one entry matches)
   auto [it, end] = shard.entry_table.equal_range(fp);
   for (; it != end; ++it) {
     Entry& entry = it->second;
     if (entry.theta == theta && entry.delta == delta && entry.phi == phi) {
       entry.last_used = ++shard.clock;
-      ++shard.stats.misses;  // we did pay for a solve
-      return result;
+      return;
     }
   }
   if (shard.entry_table.size() >= shard_capacity_) {
@@ -95,7 +111,15 @@ WcdeResult WcdeCache::solve(const QuantizedPmf& phi, Probability theta, KlRadius
     ++shard.stats.evictions;
   }
   shard.entry_table.emplace(fp, Entry{phi, theta, delta, result, ++shard.clock});
-  ++shard.stats.misses;
+}
+
+WcdeResult WcdeCache::solve(const QuantizedPmf& phi, Probability theta, KlRadius delta) {
+  WcdeResult result;
+  Fingerprint fp = 0;
+  if (try_get(phi, theta, delta, &result, &fp)) return result;
+  // Miss: solve outside any lock so concurrent misses do not serialize.
+  result = solve_wcde(phi, theta, delta);
+  insert(phi, theta, delta, result, fp);
   return result;
 }
 

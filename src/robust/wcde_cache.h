@@ -55,10 +55,32 @@ class WcdeCache {
 
   /// solve_wcde with memoization: returns the cached result when an entry
   /// with bit-exact equal inputs exists, otherwise computes, stores and
-  /// returns a fresh solve.  Safe to call concurrently.
+  /// returns a fresh solve.  Safe to call concurrently.  Equivalent to
+  /// try_get() followed on a miss by solve_wcde() + insert().
   WcdeResult solve(const QuantizedPmf& phi, Probability theta, KlRadius delta);
 
-  /// FNV-1a over the binning, masses, theta and delta bit patterns.
+  /// Probe half of solve(): returns true and fills *result on a bit-exact
+  /// hit.  Counts the probe (hit, miss, collision) in stats() either way, so
+  /// a try_get/insert pair accounts exactly like one solve() call.  When
+  /// fp_out is non-null it receives the computed fingerprint so the caller
+  /// can pass it back to insert() without rehashing — the planner's batch
+  /// path probes every dirty job first, batch-solves the misses, then
+  /// inserts.  Safe to call concurrently.
+  bool try_get(const QuantizedPmf& phi, Probability theta, KlRadius delta,
+               WcdeResult* result, Fingerprint* fp_out = nullptr);
+
+  /// Store half of solve(): records a solved result under fp (which must be
+  /// the fingerprint of (phi, theta, delta)).  Pure store — no hit/miss
+  /// accounting, only evictions; the probe that discovered the miss already
+  /// counted it.  Re-checks for a concurrently inserted equal entry before
+  /// emplacing (solve_wcde is deterministic, so refreshing it is
+  /// equivalent).  Safe to call concurrently.
+  void insert(const QuantizedPmf& phi, Probability theta, KlRadius delta,
+              const WcdeResult& result, Fingerprint fp);
+
+  /// FNV-1a over the binning, masses, theta and delta bit patterns, mixed a
+  /// word at a time and finished with an avalanche step (the per-byte folding
+  /// this replaces was the hot loop of every cache probe).
   static Fingerprint fingerprint(const QuantizedPmf& phi, Probability theta, KlRadius delta);
 
   void clear();

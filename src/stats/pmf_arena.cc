@@ -1,0 +1,86 @@
+#include "src/stats/pmf_arena.h"
+
+#include "src/common/error.h"
+
+namespace rush {
+
+void PmfArena::reset(std::size_t rows, std::size_t bins, double bin_width) {
+  require(rows > 0, "PmfArena::reset: need at least one row");
+  require(bins > 0, "PmfArena::reset: need at least one bin");
+  require(bin_width > 0.0, "PmfArena::reset: bin width must be positive");
+  rows_ = rows;
+  // Pad the row dimension to an odd multiple of 8 doubles (an odd number of
+  // cache lines), so the bin-to-bin stride of one row never folds onto a
+  // power-of-two byte distance — see the header on L1 set conflicts.
+  stride_ = (rows + 7) / 8 * 8;
+  if ((stride_ / 8) % 2 == 0) stride_ += 8;
+  bins_ = bins;
+  bin_width_ = bin_width;
+  mass_.resize(stride_ * bins);
+  prefix_.resize(stride_ * bins);
+  total_.assign(rows, 0.0);
+  finalized_ = false;
+}
+
+void PmfArena::load_row(std::size_t row, const QuantizedPmf& phi) {
+  require(row < rows_, "PmfArena::load_row: row out of range");
+  require(phi.bins() == bins_ && phi.bin_width() == bin_width_,
+          "PmfArena::load_row: PMF binning does not match the arena");
+  require(!finalized_, "PmfArena::load_row: arena already finalized");
+  // total_mass() is the same sequential accumulation normalize() divides by,
+  // so the plane normalisation below reproduces its bits exactly.
+  const double total = phi.total_mass();
+  require(total > 0.0, "PmfArena::load_row: PMF has zero total mass");
+  total_[row] = total;
+  // Strided scatter of one row into the bin-major plane.  This is the one
+  // non-unit-stride walk of batch assembly; it touches each value once,
+  // while the sweeps it enables (finalize + every bisection probe) are the
+  // per-pass hot path.
+  double* mass = mass_.data() + row;
+  for (std::size_t l = 0; l < bins_; ++l) {
+    mass[l * stride_] = phi.mass(l);
+  }
+}
+
+void PmfArena::finalize() {
+  require(!finalized_, "PmfArena::finalize: already finalized");
+  const std::size_t rows = rows_;
+  const std::size_t stride = stride_;
+  const double* mass = mass_.data();
+  double* prefix = prefix_.data();
+  const double* total = total_.data();
+  // One plane sweep builds the prefix CDF: per element the exact division
+  // QuantizedPmf::normalize performs (x / 1.0 == x, so already-normalised
+  // rows reproduce their bits), fused into the left-to-right accumulation
+  // of prefix_cdf — the same operation order per row.  The mass plane is
+  // left as loaded (normalisation is re-derived on read).  Across r each
+  // inner loop is unit-stride with no loop-carried dependency: the
+  // vectorization target.
+  for (std::size_t r = 0; r < rows; ++r) {
+    prefix[r] = mass[r] / total[r];
+  }
+  for (std::size_t l = 1; l < bins_; ++l) {
+    const double* prev = prefix + (l - 1) * stride;
+    const double* mass_row = mass + l * stride;
+    double* prefix_row = prefix + l * stride;
+    for (std::size_t r = 0; r < rows; ++r) {
+      prefix_row[r] = prev[r] + mass_row[r] / total[r];
+    }
+  }
+  finalized_ = true;
+}
+
+PmfRowView PmfArena::row(std::size_t row) const {
+  require(row < rows_, "PmfArena::row: row out of range");
+  require(finalized_, "PmfArena::row: finalize() the arena first");
+  PmfRowView view;
+  view.mass_base = mass_.data() + row;
+  view.prefix_base = prefix_.data() + row;
+  view.stride = stride_;
+  view.total = total_[row];
+  view.bins = bins_;
+  view.bin_width = bin_width_;
+  return view;
+}
+
+}  // namespace rush

@@ -1,0 +1,125 @@
+// Structure-of-arrays storage for a batch of same-binning PMFs.
+//
+// The WCDE stage of a planning pass solves one KL-ball bisection per dirty
+// job.  Solving them one QuantizedPmf at a time is an array-of-structures
+// walk: every solve re-derives its own normalisation and prefix CDF in its
+// own heap block, and the bisection's inner loop touches one distribution's
+// memory at a time.  PmfArena is the AoS→SoA restructuring (DESIGN.md §5i,
+// the TriangleMesh move): one contiguous *mass plane* and one *prefix-CDF
+// plane* shared by the whole batch, laid out bin-major —
+//
+//     plane[bin * row_stride + row]
+//
+// — so that for a fixed bin the values of all rows are adjacent.  The two
+// sweeps that build the planes (normalisation, prefix accumulation) then
+// have a unit-stride inner loop over rows with no loop-carried dependency,
+// which auto-vectorizes (verified by scripts/check_vectorization.sh), while
+// each row's prefix still accumulates strictly left to right — the exact
+// operation order of QuantizedPmf::normalize + prefix_cdf, so every plane
+// value is bit-identical to the scalar path's.
+//
+// row_stride is rows() rounded up so that consecutive bins of one row land
+// an odd number of cache lines apart.  Without the padding, a power-of-two
+// row count makes load_row's transpose scatter walk the plane in steps of
+// e.g. 128 * 8 = 1024 bytes, and every probed address folds onto a handful
+// of L1 sets — the scatter then runs ~10x slower on conflict misses alone.
+// An odd line stride cycles through every set.  The pad lanes at the tail
+// of each bin-row are never read or written.
+//
+// PmfRowView is the cheap strided view of one row for callers that want to
+// read a single distribution back out of the arena.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/stats/pmf.h"
+
+namespace rush {
+
+/// Read-only strided view of one arena row: the normalised masses and the
+/// prefix CDF of one PMF, without copying them out of the planes.
+struct PmfRowView {
+  const double* mass_base = nullptr;
+  const double* prefix_base = nullptr;
+  /// Distance between consecutive bins of this row (== arena row_stride()).
+  std::size_t stride = 0;
+  std::size_t bins = 0;
+  double bin_width = 0.0;
+  /// The row's total mass as loaded; mass() divides by it on the fly.
+  double total = 1.0;
+
+  /// Normalised mass at bin.  The mass plane stores masses as loaded and
+  /// the division happens here — the same `m / total` that
+  /// QuantizedPmf::normalize performs, so the bits match it exactly, while
+  /// finalize() skips a whole plane of stores the WCDE kernel never reads.
+  double mass(std::size_t bin) const { return mass_base[bin * stride] / total; }
+  /// CDF at bin, i.e. the running sum of normalised mass over [0, bin].
+  double prefix(std::size_t bin) const { return prefix_base[bin * stride]; }
+  /// Largest demand value bin represents (QuantizedPmf::upper_edge).
+  double upper_edge(std::size_t bin) const {
+    return bin_width * static_cast<double>(bin + 1);
+  }
+};
+
+class PmfArena {
+ public:
+  PmfArena() = default;
+
+  /// Reshapes for `rows` PMFs of identical binning, reusing the plane
+  /// allocations of previous batches (the planner keeps one arena alive
+  /// across passes, so steady-state batch assembly allocates nothing).
+  /// Invalidates all previously loaded rows and views.
+  void reset(std::size_t rows, std::size_t bins, double bin_width);
+
+  /// Copies phi's masses into row `row` of the mass plane and records the
+  /// row's total mass.  phi must match the arena binning and have positive
+  /// total mass.  All rows must be loaded before finalize().
+  void load_row(std::size_t row, const QuantizedPmf& phi);
+
+  /// Builds the prefix-CDF plane.  Per row this performs exactly
+  /// QuantizedPmf::normalize (each mass divided by the row total — dividing
+  /// by an exactly-1.0 total is the IEEE identity, so already-normalised
+  /// rows are reproduced bit-for-bit) fused into prefix_cdf's left-to-right
+  /// accumulation; across rows the sweep is unit-stride and branch-free,
+  /// the auto-vectorization target.  The mass plane keeps the masses as
+  /// loaded — normalised values are derived on read (mass_at, PmfRowView),
+  /// which saves finalize a full plane of stores.
+  void finalize();
+
+  std::size_t rows() const { return rows_; }
+  std::size_t bins() const { return bins_; }
+  double bin_width() const { return bin_width_; }
+  /// Doubles between consecutive bins of one row: rows() padded up to an
+  /// odd multiple of 8 (see the file comment on L1 set conflicts).
+  std::size_t row_stride() const { return stride_; }
+
+  /// Normalised mass of `row` at `bin` (divided on read; see finalize()).
+  double mass_at(std::size_t bin, std::size_t row) const {
+    return mass_[bin * stride_ + row] / total_[row];
+  }
+  /// Prefix CDF of `row` at `bin`; finalize() must have run.
+  double prefix_at(std::size_t bin, std::size_t row) const {
+    return prefix_[bin * stride_ + row];
+  }
+
+  /// The raw bin-major prefix plane (prefix[bin * row_stride() + row]) —
+  /// the batched WCDE kernel's gather target.
+  const double* prefix_plane() const { return prefix_.data(); }
+
+  /// Strided view of one row; valid until the next reset().
+  PmfRowView row(std::size_t row) const;
+
+ private:
+  std::vector<double> mass_;    // bin-major [bins][stride], as loaded
+  std::vector<double> prefix_;  // bin-major [bins][stride], normalised CDF
+  std::vector<double> total_;   // per-row total mass before normalisation
+  std::size_t rows_ = 0;
+  std::size_t stride_ = 0;
+  std::size_t bins_ = 0;
+  double bin_width_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace rush

@@ -1,0 +1,10 @@
+// D6 negative: the batched WCDE kernel is on the numeric-kernel allowlist —
+// it unwraps Probability/KlRadius once at batch entry and runs the lockstep
+// sweeps in raw doubles, exactly like the scalar wcde.cc it must match
+// bit for bit.  This fixture pins the allowlist entry: if the path is ever
+// dropped from kKernels, this unwrap fires and the self-test fails.
+// rushlint-fixture-path: src/robust/wcde_batch.cc
+template <class Quantity>
+double unwrap_radius(const Quantity& delta) {
+  return delta.value();
+}

@@ -348,9 +348,10 @@ bool is_dimension_name(const std::string& s) {
 /// serialization edge.  Implementation files only — interfaces stay typed.
 bool is_unit_kernel(const std::string& path) {
   static const char* kKernels[] = {
-      "src/robust/wcde.cc",      "src/robust/rem.cc",
-      "src/robust/wcde_cache.cc", "src/tas/slot_mapping.cc",
-      "src/tas/onion_peeling.cc", "src/core/rush_planner.cc"};
+      "src/robust/wcde.cc",       "src/robust/wcde_batch.cc",
+      "src/robust/rem.cc",        "src/robust/wcde_cache.cc",
+      "src/tas/slot_mapping.cc",  "src/tas/onion_peeling.cc",
+      "src/core/rush_planner.cc"};
   for (const char* k : kKernels) {
     if (path == k) return true;
   }
