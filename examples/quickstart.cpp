@@ -4,12 +4,15 @@
 //   build/examples/quickstart
 //
 // Walks the whole public API surface: build JobSpecs, pick a utility class
-// per job, run the cluster with RushScheduler, and read the results.
+// per job, run the event-driven engine with RushScheduler, and read the
+// results.  EngineSimulation is the virtual-clock event source on top of
+// SchedulerEngine — the same engine rushd feeds from a socket (DESIGN.md
+// §5j) — and reproduces the classic Cluster simulation bit-for-bit.
 
 #include <iostream>
 
-#include "src/cluster/cluster.h"
 #include "src/core/rush_scheduler.h"
+#include "src/engine/simulation.h"
 #include "src/metrics/text_table.h"
 
 using namespace rush;
@@ -45,19 +48,19 @@ int main() {
 
   // An 8-container cluster with 20% lognormal runtime noise — the
   // "uncertainty in the jobs' runtime" the scheduler must absorb.
-  ClusterConfig cluster_config;
-  cluster_config.nodes = homogeneous_nodes(2, 4);
-  cluster_config.runtime_noise_sigma = 0.2;
-  cluster_config.seed = 7;
-  Cluster cluster(cluster_config, scheduler);
+  EngineSimulationConfig sim_config;
+  sim_config.nodes = homogeneous_nodes(2, 4);
+  sim_config.runtime_noise_sigma = 0.2;
+  sim_config.seed = 7;
+  EngineSimulation simulation(sim_config, scheduler);
 
   // Three jobs: a deadline-critical one, a gently time-sensitive one, and a
   // batch job that does not care when it finishes.
-  cluster.submit(make_job("video-transcode", 0.0, 120.0, "sigmoid", 0.5, 5.0, 12, 20.0));
-  cluster.submit(make_job("daily-report", 10.0, 400.0, "linear", 0.01, 3.0, 10, 20.0));
-  cluster.submit(make_job("log-archive", 20.0, 0.0, "constant", 1.0, 1.0, 14, 20.0));
+  simulation.submit(make_job("video-transcode", 0.0, 120.0, "sigmoid", 0.5, 5.0, 12, 20.0));
+  simulation.submit(make_job("daily-report", 10.0, 400.0, "linear", 0.01, 3.0, 10, 20.0));
+  simulation.submit(make_job("log-archive", 20.0, 0.0, "constant", 1.0, 1.0, 14, 20.0));
 
-  const RunResult result = cluster.run();
+  const RunResult result = simulation.run();
 
   TextTable table({"job", "sensitivity", "budget", "completed", "latency", "utility"});
   for (const JobRecord& job : result.jobs) {

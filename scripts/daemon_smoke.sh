@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# rushd smoke session (CI: the daemon-smoke job).
+#
+# 1. Record a deterministic reference: the in-process engine simulation on
+#    examples/jobs.xml, dumping its event log and trace CSV.
+# 2. Start rushd on a Unix socket in --client-time mode with a WAL.
+# 3. Play the reference log into the daemon over the socket.
+# 4. Replay the daemon's own WAL offline through the engine.
+# 5. The replayed trace must be byte-identical to the reference trace, and
+#    the daemon's WAL byte-identical to the reference event log — the
+#    engine determinism guarantee of DESIGN.md §5j.  Any diff fails.
+#
+# Usage: scripts/daemon_smoke.sh [BUILD_DIR]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+RUSHD="$REPO_ROOT/$BUILD_DIR/src/rushd"
+CLIENT="$REPO_ROOT/$BUILD_DIR/examples/rushd_client"
+JOBS="$REPO_ROOT/examples/jobs.xml"
+WORK="$(mktemp -d)"
+SOCKET="$WORK/rushd.sock"
+CAPACITY=6
+
+cleanup() {
+  [[ -n "${RUSHD_PID:-}" ]] && kill "$RUSHD_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+[[ -x "$RUSHD" && -x "$CLIENT" ]] || {
+  echo "daemon_smoke: build rushd and rushd_client first ($BUILD_DIR)" >&2
+  exit 1
+}
+
+echo "== record reference =="
+"$CLIENT" --record-reference "$WORK/ref.evlog" --trace "$WORK/ref.csv" \
+          --jobs "$JOBS" --capacity "$CAPACITY"
+
+echo "== start rushd =="
+"$RUSHD" --socket "$SOCKET" --capacity "$CAPACITY" --client-time \
+         --log "$WORK/wal.evlog" --once &
+RUSHD_PID=$!
+for _ in $(seq 1 50); do
+  [[ -S "$SOCKET" ]] && break
+  sleep 0.1
+done
+[[ -S "$SOCKET" ]] || { echo "daemon_smoke: rushd did not come up" >&2; exit 1; }
+
+echo "== play session =="
+"$CLIENT" --play "$WORK/ref.evlog" --socket "$SOCKET"
+
+wait "$RUSHD_PID"
+RUSHD_PID=""
+
+echo "== replay daemon WAL =="
+"$CLIENT" --replay-wal "$WORK/wal.evlog" --trace "$WORK/replayed.csv" \
+          --capacity "$CAPACITY"
+
+echo "== verify =="
+cmp "$WORK/ref.evlog" "$WORK/wal.evlog" || {
+  echo "daemon_smoke: FAIL — daemon WAL differs from reference event log" >&2
+  exit 1
+}
+diff "$WORK/ref.csv" "$WORK/replayed.csv" > /dev/null || {
+  echo "daemon_smoke: FAIL — replayed trace differs from simulator reference" >&2
+  exit 1
+}
+echo "daemon_smoke: OK — WAL and replayed trace byte-identical to reference"

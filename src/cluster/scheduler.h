@@ -105,6 +105,15 @@ class Scheduler {
   virtual void on_task_failed(const ClusterView& /*view*/, JobId /*job*/,
                               Seconds /*wasted*/) {}
   virtual void on_job_finished(const ClusterView& /*view*/, JobId /*job*/) {}
+
+  /// Snapshot seam (DESIGN.md §5j).  Serializes everything the scheduler
+  /// has learned (estimator moments, planner warm state) into an opaque
+  /// byte blob, and restores it bit-exactly, so a restored scheduler makes
+  /// the same decisions the original would have.  The blob is a plain
+  /// string because this layer cannot see the snapshot container types.
+  /// Default: stateless scheduler — empty blob out, any blob accepted.
+  virtual void save_state(std::string& blob) const { blob.clear(); }
+  virtual void restore_state(const std::string& /*blob*/) {}
 };
 
 }  // namespace rush

@@ -1,0 +1,100 @@
+#include "src/common/wire.h"
+
+#include <cstring>
+
+#include "src/common/error.h"
+
+namespace rush {
+
+void WireWriter::put_u8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+void WireWriter::put_u32(std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) {
+    buffer_.push_back(static_cast<char>((v >> (8 * b)) & 0xFFu));
+  }
+}
+
+void WireWriter::put_u64(std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    buffer_.push_back(static_cast<char>((v >> (8 * b)) & 0xFFu));
+  }
+}
+
+void WireWriter::put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+void WireWriter::put_double(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits);
+}
+
+void WireWriter::put_string(std::string_view v) {
+  require(v.size() <= 0xFFFFFFFFull, "WireWriter::put_string: string too long");
+  put_u32(static_cast<std::uint32_t>(v.size()));
+  buffer_.append(v.data(), v.size());
+}
+
+const unsigned char* WireReader::need(std::size_t n) {
+  if (data_.size() - offset_ < n) {
+    throw InvalidInput("WireReader: truncated input (need " + std::to_string(n) +
+                       " bytes, have " + std::to_string(data_.size() - offset_) + ")");
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(data_.data()) + offset_;
+  offset_ += n;
+  return p;
+}
+
+std::uint8_t WireReader::get_u8() { return *need(1); }
+
+std::uint32_t WireReader::get_u32() {
+  const unsigned char* p = need(4);
+  std::uint32_t v = 0;
+  for (int b = 0; b < 4; ++b) v |= static_cast<std::uint32_t>(p[b]) << (8 * b);
+  return v;
+}
+
+std::uint64_t WireReader::get_u64() {
+  const unsigned char* p = need(8);
+  std::uint64_t v = 0;
+  for (int b = 0; b < 8; ++b) v |= static_cast<std::uint64_t>(p[b]) << (8 * b);
+  return v;
+}
+
+std::int64_t WireReader::get_i64() { return static_cast<std::int64_t>(get_u64()); }
+
+double WireReader::get_double() {
+  const std::uint64_t bits = get_u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::get_string() {
+  const std::uint32_t n = get_u32();
+  const unsigned char* p = need(n);
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+std::string WireReader::get_bytes(std::size_t n) {
+  const unsigned char* p = need(n);
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+void WireReader::expect_end(const char* context) const {
+  if (!at_end()) {
+    throw InvalidInput(std::string(context) + ": " + std::to_string(remaining()) +
+                       " trailing bytes");
+  }
+}
+
+std::uint64_t wire_fnv1a(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace rush

@@ -1,0 +1,72 @@
+// Byte-exact serialization primitives shared by the state snapshots, the
+// engine's write-ahead event log and the daemon's socket protocol.
+//
+// The format is deliberately dumb: fixed little-endian integers, doubles as
+// their IEEE-754 bit patterns, length-prefixed strings.  No varints, no
+// alignment, no schema — every reader knows exactly what it expects, and a
+// value round-trips to the very bit, which is what the deterministic-replay
+// and snapshot/restore guarantees are built on (DESIGN.md §5j).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rush {
+
+/// Appends fixed-width little-endian primitives to a byte buffer.
+class WireWriter {
+ public:
+  const std::string& buffer() const { return buffer_; }
+  std::string take() { return std::move(buffer_); }
+
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern — the double round-trips exactly.
+  void put_double(double v);
+  /// u32 length prefix + raw bytes.
+  void put_string(std::string_view v);
+  /// Raw bytes, no prefix — for framing layers that carry the length
+  /// themselves.
+  void put_raw(std::string_view v) { buffer_.append(v.data(), v.size()); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Reads the WireWriter encoding back; throws InvalidInput on truncation.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  bool get_bool() { return get_u8() != 0; }
+  double get_double();
+  std::string get_string();
+  /// `n` raw bytes, no prefix — counterpart of put_raw.
+  std::string get_bytes(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - offset_; }
+  bool at_end() const { return offset_ == data_.size(); }
+  /// Throws InvalidInput unless every byte was consumed.
+  void expect_end(const char* context) const;
+
+ private:
+  const unsigned char* need(std::size_t n);
+
+  std::string_view data_;
+  std::size_t offset_ = 0;
+};
+
+/// FNV-1a 64-bit over a byte buffer — the integrity checksum of snapshot
+/// files and event-log records (corruption detection, not cryptography).
+std::uint64_t wire_fnv1a(std::string_view bytes);
+
+}  // namespace rush

@@ -4,6 +4,29 @@
 
 namespace rush {
 
+namespace {
+
+Sensitivity parse_sensitivity(const std::string& name) {
+  if (name == "critical") return Sensitivity::kTimeCritical;
+  if (name == "sensitive") return Sensitivity::kTimeSensitive;
+  if (name == "insensitive") return Sensitivity::kTimeInsensitive;
+  throw InvalidInput("JobConfig: unknown sensitivity '" + name + "'");
+}
+
+const char* sensitivity_name(Sensitivity s) {
+  switch (s) {
+    case Sensitivity::kTimeCritical:
+      return "critical";
+    case Sensitivity::kTimeInsensitive:
+      return "insensitive";
+    case Sensitivity::kTimeSensitive:
+      break;
+  }
+  return "sensitive";
+}
+
+}  // namespace
+
 void JobConfig::validate() const {
   require(budget >= 0.0, "JobConfig '" + name + "': negative budget");
   require(priority >= 0.0, "JobConfig '" + name + "': negative priority");
@@ -30,6 +53,8 @@ JobConfig parse_job_config(const XmlNode& node) {
   config.reduces = static_cast<int>(node.child_long("reduces", config.reduces));
   config.task_seconds = node.child_double("task-seconds", config.task_seconds);
   config.arrival = node.child_double("arrival", config.arrival);
+  config.sensitivity =
+      parse_sensitivity(node.child_text("sensitivity", sensitivity_name(config.sensitivity)));
   config.validate();
   return config;
 }

@@ -38,6 +38,10 @@ struct JobConfig {
   int reduces = 0;
   Seconds task_seconds = 60.0;
   Seconds arrival = 0.0;
+  /// Workload-mix label (<sensitivity>critical|sensitive|insensitive</...>);
+  /// informational for schedulers but carried through to job records, so
+  /// engine-fed runs reproduce the same metrics CSVs as simulator runs.
+  Sensitivity sensitivity = Sensitivity::kTimeSensitive;
 
   /// Validates ranges; throws InvalidInput with the offending field.
   void validate() const;

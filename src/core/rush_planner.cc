@@ -376,4 +376,30 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
   return result;
 }
 
+void RushPlanner::save_warm_state(WireWriter& out) const {
+  out.put_u64(peel_hint_.size());
+  for (const PeelHintEntry& entry : peel_hint_) {
+    out.put_i64(entry.id);
+    out.put_double(entry.level);
+    out.put_double(entry.completion);
+  }
+}
+
+void RushPlanner::restore_warm_state(WireReader& in) {
+  const auto n = static_cast<std::size_t>(in.get_u64());
+  peel_hint_.clear();
+  peel_hint_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PeelHintEntry entry;
+    entry.id = in.get_i64();
+    entry.level = in.get_double();
+    entry.completion = in.get_double();
+    peel_hint_.push_back(entry);
+  }
+  // Replay baselines are rebuilt by the next pass; dropping them forces
+  // that pass to recompute every layer, which is bit-identical anyway.
+  prev_targets_.clear();
+  prev_etas_.clear();
+}
+
 }  // namespace rush

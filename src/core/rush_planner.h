@@ -20,6 +20,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/common/types.h"
+#include "src/common/wire.h"
 #include "src/core/rush_config.h"
 #include "src/robust/eta_drift.h"
 #include "src/robust/wcde.h"
@@ -166,6 +167,17 @@ class RushPlanner {
 
   /// Per-stage profile accumulated over every pass this planner ran.
   PlanStats plan_stats() const { return stats_; }
+
+  /// Snapshot seam (DESIGN.md §5j): serializes the cross-pass warm state
+  /// that can influence *which work a pass does* — the peel hint.  The
+  /// layer-replay baselines (prev_targets_/prev_etas_) are deliberately
+  /// dropped on restore: they only matter at replan_eta_tolerance > 0,
+  /// where missing baselines merely force a full (bit-identical at
+  /// tolerance 0) recomputation, never a different plan.  Restoring into a
+  /// planner with the same config yields bit-identical subsequent plans
+  /// because warm-started peeling is proven bit-identical to cold peeling.
+  void save_warm_state(WireWriter& out) const;
+  void restore_warm_state(WireReader& in);
 
  private:
   /// Buffers of one planning pass, hoisted out of plan() so consecutive

@@ -1,12 +1,21 @@
 #include "src/core/rush_scheduler.h"
 
 #include <algorithm>
+#include <iterator>
+#include <vector>
 
 #include "src/check/elision_audit.h"
 #include "src/common/error.h"
+#include "src/common/wire.h"
 #include "src/robust/eta_drift.h"
 
 namespace rush {
+
+namespace {
+/// Format version of the RushScheduler state blob (DESIGN.md §5j: bump on
+/// any layout change; readers reject versions they do not know).
+constexpr std::uint8_t kSchedulerStateVersion = 1;
+}  // namespace
 
 RushScheduler::RushScheduler(RushConfig config)
     : config_(std::move(config)), planner_(config_) {
@@ -68,6 +77,106 @@ void RushScheduler::on_job_finished(const ClusterView& /*view*/, JobId job) {
   demand_snapshots_.erase(job);
   stale_snapshots_.erase(job);
   plan_dirty_ = true;
+}
+
+void RushScheduler::save_state(std::string& blob) const {
+  WireWriter out;
+  out.put_u8(kSchedulerStateVersion);
+  // Configuration fingerprint: restore only makes sense into a scheduler
+  // whose estimators are built the same way.
+  out.put_string(config_.estimator_kind);
+  out.put_bool(config_.phase_aware_estimation);
+
+  out.put_u64(global_runtimes_.count());
+  out.put_double(global_runtimes_.mean());
+  out.put_double(global_runtimes_.m2());
+
+  // Hash maps serialize through a sorted key list so the blob is a pure
+  // function of the state (rushlint D2: no hash-order dependence).
+  std::vector<JobId> ids;
+  ids.reserve(estimators_.size());
+  std::transform(estimators_.begin(), estimators_.end(), std::back_inserter(ids),
+                 [](const auto& kv) { return kv.first; });
+  std::sort(ids.begin(), ids.end());
+  out.put_u64(ids.size());
+  for (const JobId id : ids) {
+    out.put_i64(id);
+    estimators_.at(id)->save_state(out);
+  }
+
+  ids.clear();
+  std::transform(phase_estimators_.begin(), phase_estimators_.end(),
+                 std::back_inserter(ids), [](const auto& kv) { return kv.first; });
+  std::sort(ids.begin(), ids.end());
+  out.put_u64(ids.size());
+  for (const JobId id : ids) {
+    out.put_i64(id);
+    phase_estimators_.at(id).save_state(out);
+  }
+
+  ids.assign(stale_snapshots_.begin(), stale_snapshots_.end());
+  std::sort(ids.begin(), ids.end());
+  out.put_u64(ids.size());
+  for (const JobId id : ids) out.put_i64(id);
+
+  planner_.save_warm_state(out);
+  blob = out.take();
+}
+
+void RushScheduler::restore_state(const std::string& blob) {
+  WireReader in(blob);
+  const std::uint8_t version = in.get_u8();
+  require(version == kSchedulerStateVersion,
+          "RushScheduler::restore_state: unsupported state version");
+  const std::string kind = in.get_string();
+  require(kind == config_.estimator_kind,
+          "RushScheduler::restore_state: estimator kind mismatch (saved '" + kind +
+              "', configured '" + config_.estimator_kind + "')");
+  const bool phase_aware = in.get_bool();
+  require(phase_aware == config_.phase_aware_estimation,
+          "RushScheduler::restore_state: phase-aware flag mismatch");
+
+  const auto g_count = static_cast<std::size_t>(in.get_u64());
+  const double g_mean = in.get_double();
+  const double g_m2 = in.get_double();
+  global_runtimes_.restore_raw(g_count, g_mean, g_m2);
+
+  estimators_.clear();
+  const auto n_estimators = static_cast<std::size_t>(in.get_u64());
+  for (std::size_t i = 0; i < n_estimators; ++i) {
+    const JobId id = in.get_i64();
+    auto estimator = make_estimator(config_.estimator_kind, config_.prior);
+    estimator->restore_state(in);
+    estimators_.emplace(id, std::move(estimator));
+  }
+
+  phase_estimators_.clear();
+  const auto n_phase = static_cast<std::size_t>(in.get_u64());
+  for (std::size_t i = 0; i < n_phase; ++i) {
+    const JobId id = in.get_i64();
+    PhaseAwareEstimator estimator{config_.prior};
+    estimator.restore_state(in);
+    phase_estimators_.emplace(id, std::move(estimator));
+  }
+
+  stale_snapshots_.clear();
+  const auto n_stale = static_cast<std::size_t>(in.get_u64());
+  for (std::size_t i = 0; i < n_stale; ++i) stale_snapshots_.insert(in.get_i64());
+
+  planner_.restore_warm_state(in);
+  in.expect_end("RushScheduler::restore_state");
+
+  // Derived state rebuilds deterministically on the next wave: demand
+  // snapshots are pinned by (samples, remaining tasks) and the plan is a
+  // pure function of the view plus the state restored above.
+  demand_snapshots_.clear();
+  plan_ = Plan{};
+  plan_dirty_ = true;
+  plans_computed_ = 0;
+  plan_valid_at_ = -1.0;
+  planned_runtime_.clear();
+  planned_capacity_ = 0;
+  stale_scratch_.clear();
 }
 
 const RushScheduler::DemandSnapshot& RushScheduler::snapshot_for(const JobView& jv) {

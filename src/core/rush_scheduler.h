@@ -42,6 +42,18 @@ class RushScheduler final : public Scheduler {
   void on_task_failed(const ClusterView& view, JobId job, Seconds wasted) override;
   void on_job_finished(const ClusterView& view, JobId job) override;
 
+  /// Snapshot seam (DESIGN.md §5j): serializes everything learned —
+  /// global runtime moments, per-job estimators (sorted by id), phase
+  /// estimators, the stale-snapshot set, and the planner's peel hint.
+  /// Demand snapshots and the cached plan are deliberately NOT saved: both
+  /// are deterministic functions of the saved state and the next view, so
+  /// the restored scheduler rebuilds them bit-identically on its first
+  /// wave (restore marks the plan dirty).  restore_state() requires the
+  /// same estimator configuration it was saved under and throws
+  /// InvalidInput on version/kind mismatch or a malformed blob.
+  void save_state(std::string& blob) const override;
+  void restore_state(const std::string& blob) override;
+
   /// The most recent plan (projected completion times, impossible flags) —
   /// what the RUSH web UI of Fig 2 renders.
   const Plan& current_plan() const { return plan_; }

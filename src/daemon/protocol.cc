@@ -1,0 +1,195 @@
+#include "src/daemon/protocol.h"
+
+#include "src/common/error.h"
+#include "src/common/wire.h"
+#include "src/engine/event.h"
+
+namespace rush {
+
+namespace {
+
+std::string finish_frame(WireWriter& body) {
+  WireWriter frame;
+  frame.put_u32(static_cast<std::uint32_t>(body.buffer().size()));
+  frame.put_raw(body.buffer());
+  return frame.take();
+}
+
+void put_wave(const EngineWave& wave, WireWriter& out) {
+  out.put_double(wave.now);
+  out.put_i64(wave.index);
+  out.put_i64(wave.free_before);
+  out.put_i64(wave.free_after);
+  out.put_u64(wave.assignments.size());
+  for (const EngineAssignment& a : wave.assignments) {
+    out.put_i64(a.job);
+    out.put_i64(a.container);
+    out.put_i64(a.task_index);
+    out.put_bool(a.is_reduce);
+  }
+  out.put_u64(wave.predictions.size());
+  for (const EnginePrediction& p : wave.predictions) {
+    out.put_i64(p.id);
+    out.put_double(p.eta);
+    out.put_double(p.target_completion);
+    out.put_double(p.utility_level);
+    out.put_bool(p.impossible);
+    out.put_i64(p.desired_containers);
+  }
+}
+
+EngineWave get_wave(WireReader& in) {
+  EngineWave wave;
+  wave.now = in.get_double();
+  wave.index = static_cast<long>(in.get_i64());
+  wave.free_before = static_cast<ContainerCount>(in.get_i64());
+  wave.free_after = static_cast<ContainerCount>(in.get_i64());
+  const auto n_assignments = static_cast<std::size_t>(in.get_u64());
+  wave.assignments.reserve(n_assignments);
+  for (std::size_t i = 0; i < n_assignments; ++i) {
+    EngineAssignment a;
+    a.job = in.get_i64();
+    a.container = static_cast<int>(in.get_i64());
+    a.task_index = static_cast<int>(in.get_i64());
+    a.is_reduce = in.get_bool();
+    wave.assignments.push_back(a);
+  }
+  const auto n_predictions = static_cast<std::size_t>(in.get_u64());
+  wave.predictions.reserve(n_predictions);
+  for (std::size_t i = 0; i < n_predictions; ++i) {
+    EnginePrediction p;
+    p.id = in.get_i64();
+    p.eta = in.get_double();
+    p.target_completion = in.get_double();
+    p.utility_level = in.get_double();
+    p.impossible = in.get_bool();
+    p.desired_containers = static_cast<int>(in.get_i64());
+    wave.predictions.push_back(p);
+  }
+  return wave;
+}
+
+}  // namespace
+
+std::string encode_frame(const ClientMessage& message) {
+  WireWriter body;
+  body.put_u8(static_cast<std::uint8_t>(message.kind));
+  body.put_double(message.time);
+  switch (message.kind) {
+    case ClientMessage::Kind::kSubmitJob:
+      serialize_job_config(message.job, body);
+      break;
+    case ClientMessage::Kind::kTaskFinished:
+      body.put_i64(message.container);
+      body.put_double(message.runtime);
+      break;
+    case ClientMessage::Kind::kContainerFreed:
+      body.put_i64(message.container);
+      body.put_double(message.wasted);
+      break;
+    case ClientMessage::Kind::kSnapshotRequest:
+    case ClientMessage::Kind::kShutdown:
+      break;
+  }
+  return finish_frame(body);
+}
+
+std::string encode_frame(const ServerMessage& message) {
+  WireWriter body;
+  body.put_u8(static_cast<std::uint8_t>(message.kind));
+  body.put_double(message.time);
+  switch (message.kind) {
+    case ServerMessage::Kind::kJobAccepted:
+      body.put_i64(message.job_id);
+      break;
+    case ServerMessage::Kind::kWave:
+      put_wave(message.wave, body);
+      break;
+    case ServerMessage::Kind::kSnapshotSaved:
+      body.put_u64(message.bytes);
+      break;
+    case ServerMessage::Kind::kError:
+      body.put_string(message.text);
+      break;
+    case ServerMessage::Kind::kGoodbye:
+      break;
+  }
+  return finish_frame(body);
+}
+
+ClientMessage decode_client_message(std::string_view body) {
+  WireReader in(body);
+  ClientMessage message;
+  const std::uint8_t kind = in.get_u8();
+  require(kind >= 1 && kind <= 5, "rushd protocol: unknown client message type");
+  message.kind = static_cast<ClientMessage::Kind>(kind);
+  message.time = in.get_double();
+  switch (message.kind) {
+    case ClientMessage::Kind::kSubmitJob:
+      message.job = deserialize_job_config(in);
+      break;
+    case ClientMessage::Kind::kTaskFinished:
+      message.container = static_cast<int>(in.get_i64());
+      message.runtime = in.get_double();
+      break;
+    case ClientMessage::Kind::kContainerFreed:
+      message.container = static_cast<int>(in.get_i64());
+      message.wasted = in.get_double();
+      break;
+    case ClientMessage::Kind::kSnapshotRequest:
+    case ClientMessage::Kind::kShutdown:
+      break;
+  }
+  in.expect_end("rushd protocol: client message");
+  return message;
+}
+
+ServerMessage decode_server_message(std::string_view body) {
+  WireReader in(body);
+  ServerMessage message;
+  const std::uint8_t kind = in.get_u8();
+  require(kind >= 1 && kind <= 5, "rushd protocol: unknown server message type");
+  message.kind = static_cast<ServerMessage::Kind>(kind);
+  message.time = in.get_double();
+  switch (message.kind) {
+    case ServerMessage::Kind::kJobAccepted:
+      message.job_id = in.get_i64();
+      break;
+    case ServerMessage::Kind::kWave:
+      message.wave = get_wave(in);
+      break;
+    case ServerMessage::Kind::kSnapshotSaved:
+      message.bytes = in.get_u64();
+      break;
+    case ServerMessage::Kind::kError:
+      message.text = in.get_string();
+      break;
+    case ServerMessage::Kind::kGoodbye:
+      break;
+  }
+  in.expect_end("rushd protocol: server message");
+  return message;
+}
+
+bool FrameBuffer::next(std::string& body) {
+  // Compact lazily so a long session does not grow the buffer unboundedly.
+  if (offset_ > 0 && offset_ == buffer_.size()) {
+    buffer_.clear();
+    offset_ = 0;
+  }
+  const std::size_t available = buffer_.size() - offset_;
+  if (available < 4) return false;
+  WireReader header(std::string_view(buffer_).substr(offset_, 4));
+  const std::uint32_t length = header.get_u32();
+  require(length <= kMaxFrameBytes, "rushd protocol: oversized frame announced");
+  if (available < 4 + static_cast<std::size_t>(length)) return false;
+  body.assign(buffer_, offset_ + 4, length);
+  offset_ += 4 + length;
+  if (offset_ > (1u << 20)) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  return true;
+}
+
+}  // namespace rush

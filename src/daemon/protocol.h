@@ -1,0 +1,86 @@
+// rushd wire protocol (README "Running rushd").
+//
+// Frames are u32 length-prefixed WireWriter bodies; the first body byte is
+// the message type.  Clients send scheduling events (job submissions, task
+// completions, container frees, snapshot requests); the daemon streams back
+// acceptance acks and one record per dispatch wave — the grants it made and
+// the plan's per-job completion-time predictions (eta_i at level theta),
+// the live form of the paper's Fig 2 web UI.
+//
+// Every message carries a `time` field.  In wall-clock mode the daemon
+// stamps events itself and the field is advisory; under --client-time (the
+// deterministic-replay mode the smoke test drives) the client's timestamps
+// are authoritative and must be non-decreasing.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/config/job_config.h"
+#include "src/engine/engine.h"
+
+namespace rush {
+
+struct ClientMessage {
+  enum class Kind : std::uint8_t {
+    kSubmitJob = 1,       // job: the XML JobConfig to schedule
+    kTaskFinished = 2,    // container, runtime
+    kContainerFreed = 3,  // container, wasted (failed attempt; task re-queues)
+    kSnapshotRequest = 4, // daemon persists a snapshot + WAL marker
+    kShutdown = 5,        // daemon flushes, says goodbye and exits
+  };
+
+  Kind kind = Kind::kShutdown;
+  Seconds time = 0.0;
+  JobConfig job;
+  int container = -1;
+  Seconds runtime = 0.0;
+  Seconds wasted = 0.0;
+};
+
+struct ServerMessage {
+  enum class Kind : std::uint8_t {
+    kJobAccepted = 1,    // job_id assigned by the daemon, stamped time
+    kWave = 2,           // one dispatch wave: grants + predictions
+    kSnapshotSaved = 3,  // bytes written
+    kError = 4,          // text; the offending event was NOT applied
+    kGoodbye = 5,        // clean shutdown ack
+  };
+
+  Kind kind = Kind::kGoodbye;
+  JobId job_id = kInvalidJob;
+  Seconds time = 0.0;
+  EngineWave wave;
+  std::uint64_t bytes = 0;
+  std::string text;
+};
+
+/// Encodes a message as a complete frame (length prefix included).
+std::string encode_frame(const ClientMessage& message);
+std::string encode_frame(const ServerMessage& message);
+
+/// Decodes one frame *body* (no length prefix); throws InvalidInput on a
+/// malformed body.
+ClientMessage decode_client_message(std::string_view body);
+ServerMessage decode_server_message(std::string_view body);
+
+/// Reassembles frames from an arbitrary byte stream (sockets chunk at will).
+class FrameBuffer {
+ public:
+  /// Hard cap on a frame body; a peer announcing more is protocol abuse.
+  static constexpr std::uint32_t kMaxFrameBytes = 1u << 24;
+
+  void feed(std::string_view bytes) { buffer_.append(bytes.data(), bytes.size()); }
+
+  /// Pops the next complete frame body into `body`; false when more bytes
+  /// are needed.  Throws InvalidInput on an oversized announced length.
+  bool next(std::string& body);
+
+ private:
+  std::string buffer_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace rush

@@ -1,0 +1,123 @@
+#include "src/engine/event.h"
+
+#include "src/common/error.h"
+
+namespace rush {
+
+EngineEvent make_job_submitted(Seconds time, JobId id, JobConfig job) {
+  EngineEvent event;
+  event.kind = EngineEvent::Kind::kJobSubmitted;
+  event.time = time;
+  event.job_id = id;
+  event.job = std::move(job);
+  return event;
+}
+
+EngineEvent make_task_finished(Seconds time, int container, Seconds runtime) {
+  EngineEvent event;
+  event.kind = EngineEvent::Kind::kTaskFinished;
+  event.time = time;
+  event.container = container;
+  event.runtime = runtime;
+  return event;
+}
+
+EngineEvent make_container_freed(Seconds time, int container, Seconds wasted) {
+  EngineEvent event;
+  event.kind = EngineEvent::Kind::kContainerFreed;
+  event.time = time;
+  event.container = container;
+  event.wasted = wasted;
+  return event;
+}
+
+EngineEvent make_snapshot_requested(Seconds time) {
+  EngineEvent event;
+  event.kind = EngineEvent::Kind::kSnapshotRequested;
+  event.time = time;
+  return event;
+}
+
+void serialize_job_config(const JobConfig& config, WireWriter& out) {
+  out.put_string(config.name);
+  out.put_double(config.budget);
+  out.put_double(config.priority);
+  out.put_double(config.beta);
+  out.put_string(config.utility_kind);
+  out.put_u32(static_cast<std::uint32_t>(config.maps));
+  out.put_u32(static_cast<std::uint32_t>(config.reduces));
+  out.put_double(config.task_seconds);
+  out.put_double(config.arrival);
+  out.put_u8(static_cast<std::uint8_t>(config.sensitivity));
+}
+
+JobConfig deserialize_job_config(WireReader& in) {
+  JobConfig config;
+  config.name = in.get_string();
+  config.budget = in.get_double();
+  config.priority = in.get_double();
+  config.beta = in.get_double();
+  config.utility_kind = in.get_string();
+  config.maps = static_cast<int>(in.get_u32());
+  config.reduces = static_cast<int>(in.get_u32());
+  config.task_seconds = in.get_double();
+  config.arrival = in.get_double();
+  const std::uint8_t sensitivity = in.get_u8();
+  require(sensitivity <= static_cast<std::uint8_t>(Sensitivity::kTimeInsensitive),
+          "deserialize_job_config: bad sensitivity byte");
+  config.sensitivity = static_cast<Sensitivity>(sensitivity);
+  return config;
+}
+
+void serialize_event(const EngineEvent& event, WireWriter& out) {
+  out.put_u8(static_cast<std::uint8_t>(event.kind));
+  out.put_double(event.time);
+  switch (event.kind) {
+    case EngineEvent::Kind::kJobSubmitted:
+      out.put_i64(event.job_id);
+      serialize_job_config(event.job, out);
+      return;
+    case EngineEvent::Kind::kTaskFinished:
+      out.put_u32(static_cast<std::uint32_t>(event.container));
+      out.put_double(event.runtime);
+      return;
+    case EngineEvent::Kind::kContainerFreed:
+      out.put_u32(static_cast<std::uint32_t>(event.container));
+      out.put_double(event.wasted);
+      return;
+    case EngineEvent::Kind::kSnapshotRequested:
+      return;
+  }
+  throw InvalidInput("serialize_event: unknown event kind");
+}
+
+EngineEvent deserialize_event(WireReader& in) {
+  EngineEvent event;
+  const std::uint8_t kind = in.get_u8();
+  event.time = in.get_double();
+  switch (kind) {
+    case static_cast<std::uint8_t>(EngineEvent::Kind::kJobSubmitted):
+      event.kind = EngineEvent::Kind::kJobSubmitted;
+      event.job_id = in.get_i64();
+      event.job = deserialize_job_config(in);
+      return event;
+    case static_cast<std::uint8_t>(EngineEvent::Kind::kTaskFinished):
+      event.kind = EngineEvent::Kind::kTaskFinished;
+      event.container = static_cast<int>(in.get_u32());
+      event.runtime = in.get_double();
+      return event;
+    case static_cast<std::uint8_t>(EngineEvent::Kind::kContainerFreed):
+      event.kind = EngineEvent::Kind::kContainerFreed;
+      event.container = static_cast<int>(in.get_u32());
+      event.wasted = in.get_double();
+      return event;
+    case static_cast<std::uint8_t>(EngineEvent::Kind::kSnapshotRequested):
+      event.kind = EngineEvent::Kind::kSnapshotRequested;
+      return event;
+    default:
+      throw InvalidInput("deserialize_event: unknown event kind byte " +
+                         std::to_string(static_cast<int>(kind)));
+  }
+}
+
+}  // namespace rush

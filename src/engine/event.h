@@ -1,0 +1,72 @@
+// Typed, serializable scheduler-engine events (DESIGN.md §5j).
+//
+// The engine consumes exactly four event kinds; everything else the old
+// simulator did (runtime sampling, node speeds, failure injection) is
+// *physics* and stays in the event source.  An event stream therefore
+// records only scheduler-observable inputs — which is precisely why a
+// recorded stream replays deterministically: the engine re-derives every
+// decision (assignments, traces, predictions) from the events alone.
+//
+//   JobSubmitted      a job with its XML JobConfig payload and the id the
+//                     source assigned at submission (dense per source)
+//   TaskFinished      the attempt on `container` completed after `runtime`
+//                     observed seconds; the engine knows which (job, task)
+//                     that is, because it launched it
+//   ContainerFreed    the attempt on `container` died after `wasted`
+//                     seconds; the task is re-queued (failure semantics)
+//   SnapshotRequested a marker: flush the wave and let the host persist a
+//                     state snapshot (no engine state change)
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/common/wire.h"
+#include "src/config/job_config.h"
+
+namespace rush {
+
+struct EngineEvent {
+  enum class Kind : std::uint8_t {
+    kJobSubmitted = 1,
+    kTaskFinished = 2,
+    kContainerFreed = 3,
+    kSnapshotRequested = 4,
+  };
+
+  Kind kind = Kind::kSnapshotRequested;
+  /// Absolute event time (virtual or wall-clock seconds); must be
+  /// non-decreasing within a stream.  Same-timestamp events form one wave.
+  Seconds time = 0.0;
+
+  /// kJobSubmitted: the id the event source assigned (ids must be unique
+  /// and non-negative; sources assign them densely in submission order).
+  JobId job_id = kInvalidJob;
+  /// kJobSubmitted payload.
+  JobConfig job;
+
+  /// kTaskFinished / kContainerFreed: the container whose attempt ended.
+  int container = -1;
+  /// kTaskFinished: observed runtime (the scheduler's learning signal).
+  Seconds runtime = 0.0;
+  /// kContainerFreed: seconds of work lost to the failed attempt.
+  Seconds wasted = 0.0;
+};
+
+EngineEvent make_job_submitted(Seconds time, JobId id, JobConfig job);
+EngineEvent make_task_finished(Seconds time, int container, Seconds runtime);
+EngineEvent make_container_freed(Seconds time, int container, Seconds wasted);
+EngineEvent make_snapshot_requested(Seconds time);
+
+/// Byte-exact event encoding (doubles as IEEE-754 bit patterns), shared by
+/// the write-ahead event log and the daemon's wire protocol.
+void serialize_event(const EngineEvent& event, WireWriter& out);
+EngineEvent deserialize_event(WireReader& in);
+
+/// JobConfig sub-encoding, reused by the engine's own state snapshot.
+void serialize_job_config(const JobConfig& config, WireWriter& out);
+JobConfig deserialize_job_config(WireReader& in);
+
+}  // namespace rush

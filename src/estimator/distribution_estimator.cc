@@ -15,6 +15,33 @@ double bin_width_for(double span, std::size_t bins) {
   return std::max(span * 1.25 / static_cast<double>(bins), 1e-6);
 }
 
+void put_prior(WireWriter& out, const EstimatorPrior& prior) {
+  out.put_double(prior.mean_runtime);
+  out.put_double(prior.stddev_runtime);
+  out.put_u64(prior.min_samples);
+}
+
+EstimatorPrior get_prior(WireReader& in) {
+  EstimatorPrior prior;
+  prior.mean_runtime = in.get_double();
+  prior.stddev_runtime = in.get_double();
+  prior.min_samples = static_cast<std::size_t>(in.get_u64());
+  return prior;
+}
+
+void put_stats(WireWriter& out, const OnlineStats& stats) {
+  out.put_u64(stats.count());
+  out.put_double(stats.mean());
+  out.put_double(stats.m2());
+}
+
+void get_stats(WireReader& in, OnlineStats& stats) {
+  const auto count = static_cast<std::size_t>(in.get_u64());
+  const double mean = in.get_double();
+  const double m2 = in.get_double();
+  stats.restore_raw(count, mean, m2);
+}
+
 }  // namespace
 
 MeanTimeEstimator::MeanTimeEstimator(EstimatorPrior prior) : prior_(prior) {
@@ -36,6 +63,16 @@ QuantizedPmf MeanTimeEstimator::remaining_demand(int remaining_tasks,
   require(remaining_tasks >= 0, "remaining_demand: negative task count");
   const double total = mean_runtime() * static_cast<double>(std::max(remaining_tasks, 1));
   return QuantizedPmf::impulse(total, bins, bin_width_for(total, bins));
+}
+
+void MeanTimeEstimator::save_state(WireWriter& out) const {
+  put_prior(out, prior_);
+  put_stats(out, stats_);
+}
+
+void MeanTimeEstimator::restore_state(WireReader& in) {
+  prior_ = get_prior(in);
+  get_stats(in, stats_);
 }
 
 GaussianEstimator::GaussianEstimator(EstimatorPrior prior) : prior_(prior) {
@@ -66,6 +103,16 @@ QuantizedPmf GaussianEstimator::remaining_demand(int remaining_tasks,
   const double stddev = std::sqrt(n) * stddev_runtime();
   const double span = mean + 6.0 * stddev;
   return QuantizedPmf::gaussian(mean, stddev, bins, bin_width_for(span, bins));
+}
+
+void GaussianEstimator::save_state(WireWriter& out) const {
+  put_prior(out, prior_);
+  put_stats(out, stats_);
+}
+
+void GaussianEstimator::restore_state(WireReader& in) {
+  prior_ = get_prior(in);
+  get_stats(in, stats_);
 }
 
 BootstrapEstimator::BootstrapEstimator(EstimatorPrior prior, std::size_t resamples,
@@ -113,6 +160,26 @@ QuantizedPmf BootstrapEstimator::remaining_demand(int remaining_tasks,
   return pmf;
 }
 
+void BootstrapEstimator::save_state(WireWriter& out) const {
+  put_prior(out, prior_);
+  out.put_u64(samples_.size());
+  for (const Seconds s : samples_) out.put_double(s);
+  put_stats(out, stats_);
+  out.put_u64(resamples_);
+  out.put_u64(seed_);
+}
+
+void BootstrapEstimator::restore_state(WireReader& in) {
+  prior_ = get_prior(in);
+  const auto n = static_cast<std::size_t>(in.get_u64());
+  samples_.clear();
+  samples_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) samples_.push_back(in.get_double());
+  get_stats(in, stats_);
+  resamples_ = static_cast<std::size_t>(in.get_u64());
+  seed_ = in.get_u64();
+}
+
 EwmaEstimator::EwmaEstimator(EstimatorPrior prior, double alpha)
     : prior_(prior), alpha_(alpha) {
   require(alpha > 0.0 && alpha <= 1.0, "EwmaEstimator: alpha must be in (0,1]");
@@ -152,6 +219,22 @@ QuantizedPmf EwmaEstimator::remaining_demand(int remaining_tasks,
   const double stddev = std::sqrt(n) * stddev_runtime();
   const double span = mean + 6.0 * stddev;
   return QuantizedPmf::gaussian(mean, stddev, bins, bin_width_for(span, bins));
+}
+
+void EwmaEstimator::save_state(WireWriter& out) const {
+  put_prior(out, prior_);
+  out.put_double(alpha_);
+  out.put_u64(count_);
+  out.put_double(mean_);
+  out.put_double(var_);
+}
+
+void EwmaEstimator::restore_state(WireReader& in) {
+  prior_ = get_prior(in);
+  alpha_ = in.get_double();
+  count_ = static_cast<std::size_t>(in.get_u64());
+  mean_ = in.get_double();
+  var_ = in.get_double();
 }
 
 std::unique_ptr<DistributionEstimator> make_estimator(const std::string& kind,

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "src/common/types.h"
+#include "src/common/wire.h"
 #include "src/stats/pmf.h"
 #include "src/stats/summary.h"
 
@@ -49,6 +50,14 @@ class DistributionEstimator {
                                                       std::size_t bins) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Snapshot seam (DESIGN.md §5j): serializes the estimator's raw learned
+  /// state (prior + accumulated moments/samples) so a restored estimator is
+  /// bit-identical to the original — same mean_runtime(), same
+  /// remaining_demand() PMFs.  restore_state() overwrites the state of an
+  /// estimator constructed with the same kind/configuration.
+  virtual void save_state(WireWriter& out) const = 0;
+  virtual void restore_state(WireReader& in) = 0;
 };
 
 /// Mean time estimator (paper §IV, estimator class (i)): an impulse at
@@ -62,6 +71,8 @@ class MeanTimeEstimator final : public DistributionEstimator {
   Seconds mean_runtime() const override;
   QuantizedPmf remaining_demand(int remaining_tasks, std::size_t bins) const override;
   std::string name() const override { return "mean"; }
+  void save_state(WireWriter& out) const override;
+  void restore_state(WireReader& in) override;
 
  private:
   EstimatorPrior prior_;
@@ -80,6 +91,8 @@ class GaussianEstimator final : public DistributionEstimator {
   Seconds mean_runtime() const override;
   QuantizedPmf remaining_demand(int remaining_tasks, std::size_t bins) const override;
   std::string name() const override { return "gaussian"; }
+  void save_state(WireWriter& out) const override;
+  void restore_state(WireReader& in) override;
 
   Seconds stddev_runtime() const;
 
@@ -103,6 +116,8 @@ class BootstrapEstimator final : public DistributionEstimator {
   Seconds mean_runtime() const override;
   QuantizedPmf remaining_demand(int remaining_tasks, std::size_t bins) const override;
   std::string name() const override { return "bootstrap"; }
+  void save_state(WireWriter& out) const override;
+  void restore_state(WireReader& in) override;
 
  private:
   EstimatorPrior prior_;
@@ -126,6 +141,8 @@ class EwmaEstimator final : public DistributionEstimator {
   Seconds mean_runtime() const override;
   QuantizedPmf remaining_demand(int remaining_tasks, std::size_t bins) const override;
   std::string name() const override { return "ewma"; }
+  void save_state(WireWriter& out) const override;
+  void restore_state(WireReader& in) override;
 
   Seconds stddev_runtime() const;
 

@@ -46,6 +46,29 @@ Seconds PhaseAwareEstimator::mean_runtime(int remaining_maps,
          static_cast<double>(total);
 }
 
+void PhaseAwareEstimator::save_state(WireWriter& out) const {
+  out.put_double(prior_.mean_runtime);
+  out.put_double(prior_.stddev_runtime);
+  out.put_u64(prior_.min_samples);
+  for (const OnlineStats* phase : {&maps_, &reduces_}) {
+    out.put_u64(phase->count());
+    out.put_double(phase->mean());
+    out.put_double(phase->m2());
+  }
+}
+
+void PhaseAwareEstimator::restore_state(WireReader& in) {
+  prior_.mean_runtime = in.get_double();
+  prior_.stddev_runtime = in.get_double();
+  prior_.min_samples = static_cast<std::size_t>(in.get_u64());
+  for (OnlineStats* phase : {&maps_, &reduces_}) {
+    const auto count = static_cast<std::size_t>(in.get_u64());
+    const double mean = in.get_double();
+    const double m2 = in.get_double();
+    phase->restore_raw(count, mean, m2);
+  }
+}
+
 QuantizedPmf PhaseAwareEstimator::remaining_demand(int remaining_maps,
                                                    int remaining_reduces,
                                                    std::size_t bins) const {

@@ -14,6 +14,7 @@
 #include <cstddef>
 
 #include "src/common/types.h"
+#include "src/common/wire.h"
 #include "src/estimator/distribution_estimator.h"
 #include "src/stats/pmf.h"
 #include "src/stats/summary.h"
@@ -40,6 +41,11 @@ class PhaseAwareEstimator {
 
   Seconds map_mean() const;
   Seconds reduce_mean() const;
+
+  /// Snapshot seam (DESIGN.md §5j): raw per-phase moments round-trip
+  /// bit-exactly, mirroring DistributionEstimator::save_state.
+  void save_state(WireWriter& out) const;
+  void restore_state(WireReader& in);
 
  private:
   /// Moments of one phase, with cross-phase and prior fallbacks.

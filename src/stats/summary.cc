@@ -14,6 +14,12 @@ void OnlineStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void OnlineStats::restore_raw(std::size_t count, double mean, double m2) {
+  count_ = count;
+  mean_ = mean;
+  m2_ = m2;
+}
+
 double OnlineStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

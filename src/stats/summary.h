@@ -21,6 +21,13 @@ class OnlineStats {
   double variance() const;
   double stddev() const;
 
+  /// Raw Welford accumulator M2 — exposed (with restore_raw) so snapshot/
+  /// restore can rebuild an estimator bit-exactly instead of replaying its
+  /// whole sample stream (DESIGN.md §5j).
+  double m2() const { return m2_; }
+  /// Overwrites the accumulator state with previously captured raw values.
+  void restore_raw(std::size_t count, double mean, double m2);
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

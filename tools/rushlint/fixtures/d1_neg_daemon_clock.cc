@@ -1,0 +1,10 @@
+// D1 negative: src/daemon is the wall-clock layer by design (it stamps
+// socket events with host time), so clock reads there are exempt — the
+// determinism boundary is the engine below it.
+// rushlint-fixture-path: src/daemon/rushd_clock.cc
+#include <chrono>
+
+double fixture() {
+  const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(start.time_since_epoch()).count();
+}

@@ -1,0 +1,7 @@
+// L1 negative: src/daemon (rank 6) includes strictly-downward — engine
+// (5), state (4), core (4), config (1) — all legal.
+// rushlint-fixture-path: src/daemon/session_extras.cc
+#include "src/config/job_config.h"
+#include "src/core/rush_scheduler.h"
+#include "src/engine/engine.h"
+#include "src/state/snapshot.h"

@@ -1,0 +1,6 @@
+// L1 negative: src/engine (rank 5) includes strictly-downward — state (4,
+// beside metrics), cluster (3), sim (1) — all legal.
+// rushlint-fixture-path: src/engine/state_extras.cc
+#include "src/cluster/scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/state/snapshot.h"

@@ -39,10 +39,11 @@
 //       must point at a strictly lower-ranked module (or stay inside the
 //       module).  The enforced DAG, bottom-up:
 //         0 common | 1 stats utility sim lp config | 2 robust estimator
-//         tas | 3 cluster | 4 metrics baselines workload core |
-//         5 experiments (src/check is exempt: the invariant auditor is
-//         cyclic with cluster by design).  L1 has no suppression tag —
-//       a layering violation is always fixed, never waived.
+//         tas | 3 cluster | 4 metrics baselines workload core state |
+//         5 experiments engine | 6 daemon (src/check is exempt: the
+//         invariant auditor is cyclic with cluster by design).  L1 has no
+//       suppression tag — a layering violation is always fixed, never
+//       waived.
 //
 // Suppression syntax, on the flagged line or the line directly above:
 //   // rushlint: nondeterminism-ok(<reason>)   — D1
@@ -681,7 +682,8 @@ bool starts_with(const std::string& s, const std::string& prefix) {
 bool is_plan_dir(const std::string& path) {
   static const char* kPlanDirs[] = {"src/core/",      "src/tas/",
                                     "src/robust/",    "src/estimator/",
-                                    "src/cluster/",   "src/baselines/"};
+                                    "src/cluster/",   "src/baselines/",
+                                    "src/engine/"};
   for (const char* dir : kPlanDirs) {
     if (starts_with(path, dir)) return true;
   }
@@ -689,7 +691,11 @@ bool is_plan_dir(const std::string& path) {
 }
 
 bool is_d1_exempt(const std::string& path) {
-  return starts_with(path, "bench/") || starts_with(path, "src/common/rng.");
+  // src/daemon is the wall-clock layer by design: it exists to stamp
+  // socket events with host time.  Everything below it (engine, planner)
+  // stays clock-free — replay determinism depends on it.
+  return starts_with(path, "bench/") || starts_with(path, "src/common/rng.") ||
+         starts_with(path, "src/daemon/");
 }
 
 // ---------------------------------------------------------------------------
@@ -706,7 +712,9 @@ int module_rank(const std::string& module) {
       {"robust", 2},  {"estimator", 2}, {"tas", 2},
       {"cluster", 3},
       {"metrics", 4}, {"baselines", 4}, {"workload", 4}, {"core", 4},
-      {"experiments", 5}};
+      {"state", 4},
+      {"experiments", 5}, {"engine", 5},
+      {"daemon", 6}};
   const auto it = kRank.find(module);
   return it == kRank.end() ? -1 : it->second;
 }
@@ -842,9 +850,9 @@ int run_self_test(const std::string& dir) {
         scan.fixture_path.empty() ? scan.path : scan.fixture_path;
     Analyzer analyzer;
     analyzer.collect_decls(scan);
-    std::vector<Finding> findings =
-        analyzer.check_file(scan, /*plan_dir=*/true, /*d1_exempt=*/false,
-                            is_unit_kernel(effective_path), scan.suppressions);
+    std::vector<Finding> findings = analyzer.check_file(
+        scan, /*plan_dir=*/true, is_d1_exempt(effective_path),
+        is_unit_kernel(effective_path), scan.suppressions);
     for (Finding& f : suppression_findings(scan)) findings.push_back(std::move(f));
     for (Finding& f : layering_findings(scan, effective_path)) {
       findings.push_back(std::move(f));
