@@ -231,6 +231,29 @@ class Connection {
   FrameBuffer buffer_;
 };
 
+/// Opens the session: announce our kProtocolVersion, await the daemon's
+/// kHelloOk.  A version-skewed daemon answers with kError and hangs up.
+bool handshake(Connection& connection) {
+  ClientMessage hello;
+  hello.kind = ClientMessage::Kind::kHello;
+  hello.protocol_version = kProtocolVersion;
+  if (!connection.send(hello)) {
+    std::cerr << "rushd_client: connection lost during handshake\n";
+    return false;
+  }
+  ServerMessage reply;
+  if (!connection.receive(reply)) {
+    std::cerr << "rushd_client: daemon hung up during handshake\n";
+    return false;
+  }
+  if (reply.kind != ServerMessage::Kind::kHelloOk) {
+    std::cerr << "rushd_client: handshake refused (" << server_kind_name(reply.kind)
+              << (reply.text.empty() ? "" : ": " + reply.text) << ")\n";
+    return false;
+  }
+  return true;
+}
+
 void print_wave(const EngineWave& wave) {
   std::cout << "wave " << wave.index << " @ " << wave.now << " s: "
             << wave.assignments.size() << " grant(s), free "
@@ -320,6 +343,22 @@ int live_session(Connection& connection, const Options& opt) {
   const std::vector<JobSpec> specs = load_specs(opt.jobs_path);
   std::map<JobId, Seconds> task_seconds;
   long remaining_tasks = 0;
+
+  // Act as the cluster for one wave: every grant is completed with the
+  // job's nominal task runtime.
+  const auto complete_wave = [&](const EngineWave& wave) -> bool {
+    print_wave(wave);
+    for (const EngineAssignment& grant : wave.assignments) {
+      ClientMessage finished;
+      finished.kind = ClientMessage::Kind::kTaskFinished;
+      finished.container = grant.container;
+      finished.runtime = task_seconds[grant.job];
+      if (!connection.send(finished)) return false;
+      --remaining_tasks;
+    }
+    return true;
+  };
+
   for (const JobSpec& spec : specs) {
     ClientMessage submit;
     submit.kind = ClientMessage::Kind::kSubmitJob;
@@ -327,8 +366,15 @@ int live_session(Connection& connection, const Options& opt) {
       if (config.name == spec.name) submit.job = config;
     }
     if (!connection.send(submit)) return 1;
+    // Under wall-clock stamping the daemon may flush the previous
+    // arrival's dispatch wave before acking this submit (arrivals are
+    // flush-then-dispatch), so drain waves until the ack arrives.
     ServerMessage response;
-    if (!connection.receive(response)) return 1;
+    for (;;) {
+      if (!connection.receive(response)) return 1;
+      if (response.kind != ServerMessage::Kind::kWave) break;
+      if (!complete_wave(response.wave)) return 1;
+    }
     if (response.kind != ServerMessage::Kind::kJobAccepted) {
       std::cerr << "rushd rejected " << spec.name << ": " << response.text << '\n';
       return 1;
@@ -345,15 +391,7 @@ int live_session(Connection& connection, const Options& opt) {
       return 1;
     }
     if (message.kind != ServerMessage::Kind::kWave) continue;
-    print_wave(message.wave);
-    for (const EngineAssignment& grant : message.wave.assignments) {
-      ClientMessage finished;
-      finished.kind = ClientMessage::Kind::kTaskFinished;
-      finished.container = grant.container;
-      finished.runtime = task_seconds[grant.job];
-      if (!connection.send(finished)) return 1;
-      --remaining_tasks;
-    }
+    if (!complete_wave(message.wave)) return 1;
   }
 
   ClientMessage shutdown;
@@ -389,6 +427,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     Connection connection(fd);
+    if (!handshake(connection)) return 1;
     return opt.play ? play_recording(connection, opt) : live_session(connection, opt);
   } catch (const std::exception& error) {
     std::cerr << "rushd_client: " << error.what() << '\n';

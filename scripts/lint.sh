@@ -13,8 +13,10 @@
 #       require()/ensure() or the rush exception types
 #
 # rushlint (tools/rushlint) then runs the token-aware determinism rules
-# D1–D6 and the layering rule L1 (see DESIGN.md §5f–§5g).  The build-tree binary is used when present;
-# otherwise it is bootstrap-compiled — it is plain C++20 with no deps.
+# D1–D6, the layering rule L1, and the serialization-schema rules D7–D10
+# (see DESIGN.md §5f–§5g and §5k).  The build-tree binary is used when
+# present; otherwise it is bootstrap-compiled — it is plain C++20 with no
+# deps.
 #
 # clang-tidy (profile in .clang-tidy) runs over src/ when the binary and a
 # compile_commands.json are available; pass --no-tidy to skip explicitly.
@@ -84,9 +86,10 @@ for f in $sources; do
   fi
 done
 
-# rushlint: token-aware determinism + dimensional-safety rules (D1–D6, L1)
-# over src/, tests/, examples/.  Under GitHub Actions the findings are
-# emitted as ::error annotations so they land inline on the PR diff.
+# rushlint: token-aware determinism, dimensional-safety, layering, and
+# serialization-schema rules (D1–D10, L1) over src/, tests/, examples/.
+# Under GitHub Actions the findings are emitted as ::error annotations so
+# they land inline on the PR diff.
 rushlint_bin="$BUILD_DIR/tools/rushlint"
 if [ ! -x "$rushlint_bin" ]; then
   rushlint_bin=$(mktemp -t rushlint.XXXXXX)
@@ -98,12 +101,13 @@ if [ ! -x "$rushlint_bin" ]; then
   fi
 fi
 if [ -n "$rushlint_bin" ]; then
-  rushlint_args=(--repo-root . --baseline tools/rushlint/suppressions.baseline)
+  rushlint_args=(--repo-root . --baseline tools/rushlint/suppressions.baseline
+                 --schema-baseline tools/rushlint/schema.baseline)
   if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
     rushlint_args+=(--github)
   fi
   if ! "$rushlint_bin" "${rushlint_args[@]}"; then
-    fail rushlint "determinism/unit findings (rules D1-D6, L1 above)"
+    fail rushlint "determinism/unit/schema findings (rules D1-D10, L1 above)"
   fi
 fi
 

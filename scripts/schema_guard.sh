@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Cross-commit guard for the serializer schema ratchet (rushlint rule D9,
+# enforced across commits): a fingerprint in tools/rushlint/schema.baseline
+# may only change together with a bump of its owning version constant.
+# rushlint itself pins the working tree to the committed baseline; this
+# guard stops a PR from regenerating the baseline around a layout change
+# without paying the version bump.
+#
+# Usage: scripts/schema_guard.sh [BASE_REF]
+#
+# Each '<writer->reader> <owner>=<value> <ops>' entry at BASE_REF (argument,
+# $RUSH_BASELINE_REF, or the first of origin/main, main, HEAD~1 that
+# resolves) is compared against the working tree:
+#   - ops changed, same owner, version not increased       -> FAIL
+#   - version moved backwards                              -> FAIL
+#   - ops changed with a version bump (or a new owner)     -> OK
+#   - pair added or removed                                -> notice only
+# When no base revision resolves (shallow clone, fresh repo) the guard
+# skips with a notice: rushlint's own baseline comparison still runs in
+# every configuration.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+BASELINE=tools/rushlint/schema.baseline
+
+REF="${1:-${RUSH_BASELINE_REF:-}}"
+if [ -z "$REF" ]; then
+  for candidate in origin/main main "HEAD~1"; do
+    if git rev-parse --verify --quiet "$candidate^{commit}" > /dev/null; then
+      REF=$candidate
+      break
+    fi
+  done
+fi
+if [ -z "$REF" ]; then
+  echo "schema-guard: no base revision resolves; skipping" >&2
+  exit 0
+fi
+
+# 'id owner=value ops' lines only; comments and blanks are layout.
+entries() { awk '!/^[[:space:]]*(#|$)/ && NF == 3 { print $1, $2, $3 }'; }
+
+old=$(git show "$REF:$BASELINE" 2>/dev/null | entries || true)
+if [ -z "$old" ]; then
+  echo "schema-guard: note — $BASELINE does not exist at $REF;" \
+       "initial census, the ratchet starts now" >&2
+  exit 0
+fi
+new=$(entries < "$BASELINE")
+
+failures=0
+while read -r id versioned ops; do
+  [ -n "$id" ] || continue
+  owner=${versioned%%=*}
+  value=${versioned##*=}
+  old_line=$(printf '%s\n' "$old" | awk -v i="$id" '$1 == i { print; exit }')
+  if [ -z "$old_line" ]; then
+    echo "schema-guard: note — new serializer pair '$id'" \
+         "enters with $owner=$value" >&2
+    continue
+  fi
+  old_versioned=$(printf '%s\n' "$old_line" | awk '{ print $2 }')
+  old_ops=$(printf '%s\n' "$old_line" | awk '{ print $3 }')
+  old_owner=${old_versioned%%=*}
+  old_value=${old_versioned##*=}
+  if [ "$owner" = "$old_owner" ] && [ "$value" -lt "$old_value" ]; then
+    echo "schema-guard: FAIL — '$id' version constant $owner moved" \
+         "backwards ($old_value -> $value)" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if [ "$ops" != "$old_ops" ]; then
+    if [ "$owner" != "$old_owner" ]; then
+      echo "schema-guard: note — '$id' changed layout under a new owner" \
+           "($old_owner -> $owner); treating the re-owning as the bump" >&2
+    elif [ "$value" -le "$old_value" ]; then
+      echo "schema-guard: FAIL — layout of '$id' changed but $owner is" \
+           "still $value (bump the constant, then regenerate with" \
+           "'rushlint --repo-root . --update-schema-baseline')" >&2
+      failures=$((failures + 1))
+    fi
+  fi
+done <<EOF
+$new
+EOF
+
+while read -r id versioned ops; do
+  [ -n "$id" ] || continue
+  if ! printf '%s\n' "$new" | awk -v i="$id" '$1 == i { found = 1 } END { exit !found }'; then
+    echo "schema-guard: note — serializer pair '$id' was removed" \
+         "(make sure no persisted data still carries its bytes)" >&2
+  fi
+done <<EOF
+$old
+EOF
+
+if [ "$failures" -gt 0 ]; then
+  exit 1
+fi
+echo "schema-guard: OK (every layout change vs $REF carries a version bump)"

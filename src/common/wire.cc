@@ -81,6 +81,22 @@ std::string WireReader::get_bytes(std::size_t n) {
   return std::string(reinterpret_cast<const char*>(p), n);
 }
 
+std::size_t WireReader::get_count(std::size_t min_bytes_per_item,
+                                  const char* context) {
+  const std::uint64_t n = get_u64();
+  const std::uint64_t cap =
+      min_bytes_per_item == 0
+          ? remaining()
+          : remaining() / static_cast<std::uint64_t>(min_bytes_per_item);
+  if (n > cap) {
+    throw InvalidInput(std::string(context) + ": count " + std::to_string(n) +
+                       " exceeds the " + std::to_string(remaining()) +
+                       " bytes remaining (at least " +
+                       std::to_string(min_bytes_per_item) + " per element)");
+  }
+  return static_cast<std::size_t>(n);
+}
+
 void WireReader::expect_end(const char* context) const {
   if (!at_end()) {
     throw InvalidInput(std::string(context) + ": " + std::to_string(remaining()) +

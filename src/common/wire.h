@@ -15,6 +15,13 @@
 
 namespace rush {
 
+/// Version byte of the whole wire surface: rushd frames, serialized engine
+/// events and the WAL record layout.  Clients announce it in the kHello
+/// handshake and servers reject a mismatch with a typed error frame.  Bump
+/// it whenever any frame or event layout changes (rushlint rule D9 owns
+/// the ratchet; see DESIGN.md §5k).
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
 /// Appends fixed-width little-endian primitives to a byte buffer.
 class WireWriter {
  public:
@@ -52,6 +59,11 @@ class WireReader {
   std::string get_string();
   /// `n` raw bytes, no prefix — counterpart of put_raw.
   std::string get_bytes(std::size_t n);
+  /// An element count written as put_u64, bounds-checked against the bytes
+  /// actually remaining: each element needs at least `min_bytes_per_item`,
+  /// so an absurd count from a corrupt stream throws InvalidInput here
+  /// instead of driving a huge container reserve.
+  std::size_t get_count(std::size_t min_bytes_per_item, const char* context);
 
   std::size_t remaining() const { return data_.size() - offset_; }
   bool at_end() const { return offset_ == data_.size(); }

@@ -377,6 +377,7 @@ Plan RushPlanner::plan(const std::vector<PlannerJob>& jobs, ContainerCount capac
 }
 
 void RushPlanner::save_warm_state(WireWriter& out) const {
+  // rushlint-schema-owner: kSchedulerStateVersion
   out.put_u64(peel_hint_.size());
   for (const PeelHintEntry& entry : peel_hint_) {
     out.put_i64(entry.id);

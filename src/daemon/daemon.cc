@@ -86,6 +86,34 @@ void RushDaemon::handle(const ClientMessage& message, Seconds now,
     responses.push_back(error_message(engine_.now(), "rushd: shutting down"));
     return;
   }
+  // Handshake gate: every session opens with kHello before any event.  The
+  // hello carries no engine time and must not go through stamp() — a fresh
+  // client's time 0 is not a regression.
+  if (message.kind == ClientMessage::Kind::kHello) {
+    if (message.protocol_version != kProtocolVersion) {
+      responses.push_back(error_message(
+          engine_.now(),
+          "rushd: protocol version mismatch (client announced " +
+              std::to_string(static_cast<int>(message.protocol_version)) +
+              ", server speaks " +
+              std::to_string(static_cast<int>(kProtocolVersion)) + ")"));
+      return;
+    }
+    hello_done_ = true;
+    ServerMessage ok;
+    ok.kind = ServerMessage::Kind::kHelloOk;
+    ok.time = engine_.now();
+    ok.protocol_version = kProtocolVersion;
+    responses.push_back(std::move(ok));
+    return;
+  }
+  if (!hello_done_) {
+    responses.push_back(error_message(
+        engine_.now(), "rushd: handshake required before " +
+                           std::string(client_kind_name(message.kind)) +
+                           " (open the session with hello)"));
+    return;
+  }
   const Seconds time = stamp(message, now);
   if (time < engine_.now()) {
     responses.push_back(error_message(
@@ -140,6 +168,8 @@ void RushDaemon::handle(const ClientMessage& message, Seconds now,
         responses.push_back(std::move(goodbye));
         return;
       }
+      case ClientMessage::Kind::kHello:
+        break;  // handled by the handshake gate above
     }
   } catch (const InvalidInput& error) {
     responses.push_back(error_message(engine_.now(), error.what()));

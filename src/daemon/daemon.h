@@ -66,6 +66,15 @@ class RushDaemon : private EngineSink {
   /// True once a kShutdown message was handled.
   bool shutdown_requested() const { return shutdown_; }
 
+  /// Starts a fresh client session: the next message must be a kHello
+  /// whose protocol_version matches ours.  Call per accepted connection
+  /// (the transport owns sessions; the engine state is unaffected).
+  void begin_session() { hello_done_ = false; }
+
+  /// True once the current session's handshake succeeded.  The transport
+  /// drops the client when a message leaves this false.
+  bool hello_done() const { return hello_done_; }
+
   const EngineStats& stats() const { return engine_.stats(); }
   SchedulerEngine& engine() { return engine_; }
 
@@ -84,6 +93,7 @@ class RushDaemon : private EngineSink {
   std::vector<EngineWave> pending_waves_;
   bool shutdown_ = false;
   bool recovered_ = false;
+  bool hello_done_ = false;
 };
 
 }  // namespace rush

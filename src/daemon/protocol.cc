@@ -16,6 +16,7 @@ std::string finish_frame(WireWriter& body) {
 }
 
 void put_wave(const EngineWave& wave, WireWriter& out) {
+  // rushlint-schema-owner: kProtocolVersion
   out.put_double(wave.now);
   out.put_i64(wave.index);
   out.put_i64(wave.free_before);
@@ -44,7 +45,9 @@ EngineWave get_wave(WireReader& in) {
   wave.index = static_cast<long>(in.get_i64());
   wave.free_before = static_cast<ContainerCount>(in.get_i64());
   wave.free_after = static_cast<ContainerCount>(in.get_i64());
-  const auto n_assignments = static_cast<std::size_t>(in.get_u64());
+  // 3 x i64 + bool per assignment: an absurd count throws before reserve.
+  const std::size_t n_assignments =
+      in.get_count(25, "rushd protocol: wave assignments");
   wave.assignments.reserve(n_assignments);
   for (std::size_t i = 0; i < n_assignments; ++i) {
     EngineAssignment a;
@@ -54,7 +57,9 @@ EngineWave get_wave(WireReader& in) {
     a.is_reduce = in.get_bool();
     wave.assignments.push_back(a);
   }
-  const auto n_predictions = static_cast<std::size_t>(in.get_u64());
+  // i64 + 3 x double + bool + i64 per prediction.
+  const std::size_t n_predictions =
+      in.get_count(41, "rushd protocol: wave predictions");
   wave.predictions.reserve(n_predictions);
   for (std::size_t i = 0; i < n_predictions; ++i) {
     EnginePrediction p;
@@ -71,7 +76,33 @@ EngineWave get_wave(WireReader& in) {
 
 }  // namespace
 
+const char* client_kind_name(ClientMessage::Kind kind) {
+  switch (kind) {
+    case ClientMessage::Kind::kSubmitJob: return "submit-job";
+    case ClientMessage::Kind::kTaskFinished: return "task-finished";
+    case ClientMessage::Kind::kContainerFreed: return "container-freed";
+    case ClientMessage::Kind::kSnapshotRequest: return "snapshot-request";
+    case ClientMessage::Kind::kShutdown: return "shutdown";
+    case ClientMessage::Kind::kHello: return "hello";
+  }
+  return "unknown";
+}
+
+const char* server_kind_name(ServerMessage::Kind kind) {
+  switch (kind) {
+    case ServerMessage::Kind::kJobAccepted: return "job-accepted";
+    case ServerMessage::Kind::kWave: return "wave";
+    case ServerMessage::Kind::kSnapshotSaved: return "snapshot-saved";
+    case ServerMessage::Kind::kError: return "error";
+    case ServerMessage::Kind::kGoodbye: return "goodbye";
+    case ServerMessage::Kind::kHelloOk: return "hello-ok";
+  }
+  return "unknown";
+}
+
 std::string encode_frame(const ClientMessage& message) {
+  // rushlint-pair-reader: decode_client_message
+  // rushlint-schema-owner: kProtocolVersion
   WireWriter body;
   body.put_u8(static_cast<std::uint8_t>(message.kind));
   body.put_double(message.time);
@@ -87,6 +118,9 @@ std::string encode_frame(const ClientMessage& message) {
       body.put_i64(message.container);
       body.put_double(message.wasted);
       break;
+    case ClientMessage::Kind::kHello:
+      body.put_u8(message.protocol_version);
+      break;
     case ClientMessage::Kind::kSnapshotRequest:
     case ClientMessage::Kind::kShutdown:
       break;
@@ -95,6 +129,8 @@ std::string encode_frame(const ClientMessage& message) {
 }
 
 std::string encode_frame(const ServerMessage& message) {
+  // rushlint-pair-reader: decode_server_message
+  // rushlint-schema-owner: kProtocolVersion
   WireWriter body;
   body.put_u8(static_cast<std::uint8_t>(message.kind));
   body.put_double(message.time);
@@ -111,6 +147,9 @@ std::string encode_frame(const ServerMessage& message) {
     case ServerMessage::Kind::kError:
       body.put_string(message.text);
       break;
+    case ServerMessage::Kind::kHelloOk:
+      body.put_u8(message.protocol_version);
+      break;
     case ServerMessage::Kind::kGoodbye:
       break;
   }
@@ -121,7 +160,7 @@ ClientMessage decode_client_message(std::string_view body) {
   WireReader in(body);
   ClientMessage message;
   const std::uint8_t kind = in.get_u8();
-  require(kind >= 1 && kind <= 5, "rushd protocol: unknown client message type");
+  require(kind >= 1 && kind <= 6, "rushd protocol: unknown client message type");
   message.kind = static_cast<ClientMessage::Kind>(kind);
   message.time = in.get_double();
   switch (message.kind) {
@@ -136,6 +175,9 @@ ClientMessage decode_client_message(std::string_view body) {
       message.container = static_cast<int>(in.get_i64());
       message.wasted = in.get_double();
       break;
+    case ClientMessage::Kind::kHello:
+      message.protocol_version = in.get_u8();
+      break;
     case ClientMessage::Kind::kSnapshotRequest:
     case ClientMessage::Kind::kShutdown:
       break;
@@ -148,7 +190,7 @@ ServerMessage decode_server_message(std::string_view body) {
   WireReader in(body);
   ServerMessage message;
   const std::uint8_t kind = in.get_u8();
-  require(kind >= 1 && kind <= 5, "rushd protocol: unknown server message type");
+  require(kind >= 1 && kind <= 6, "rushd protocol: unknown server message type");
   message.kind = static_cast<ServerMessage::Kind>(kind);
   message.time = in.get_double();
   switch (message.kind) {
@@ -163,6 +205,9 @@ ServerMessage decode_server_message(std::string_view body) {
       break;
     case ServerMessage::Kind::kError:
       message.text = in.get_string();
+      break;
+    case ServerMessage::Kind::kHelloOk:
+      message.protocol_version = in.get_u8();
       break;
     case ServerMessage::Kind::kGoodbye:
       break;

@@ -18,18 +18,21 @@
 #include <string>
 #include <vector>
 
+#include "src/common/wire.h"
 #include "src/config/job_config.h"
 #include "src/engine/engine.h"
 
 namespace rush {
 
 struct ClientMessage {
+  // rushlint-serialized-enum
   enum class Kind : std::uint8_t {
     kSubmitJob = 1,       // job: the XML JobConfig to schedule
     kTaskFinished = 2,    // container, runtime
     kContainerFreed = 3,  // container, wasted (failed attempt; task re-queues)
     kSnapshotRequest = 4, // daemon persists a snapshot + WAL marker
     kShutdown = 5,        // daemon flushes, says goodbye and exits
+    kHello = 6,           // handshake: announces the client's kProtocolVersion
   };
 
   Kind kind = Kind::kShutdown;
@@ -38,15 +41,18 @@ struct ClientMessage {
   int container = -1;
   Seconds runtime = 0.0;
   Seconds wasted = 0.0;
+  std::uint8_t protocol_version = kProtocolVersion;  // kHello only
 };
 
 struct ServerMessage {
+  // rushlint-serialized-enum
   enum class Kind : std::uint8_t {
     kJobAccepted = 1,    // job_id assigned by the daemon, stamped time
     kWave = 2,           // one dispatch wave: grants + predictions
     kSnapshotSaved = 3,  // bytes written
     kError = 4,          // text; the offending event was NOT applied
     kGoodbye = 5,        // clean shutdown ack
+    kHelloOk = 6,        // handshake accepted; echoes the server's version
   };
 
   Kind kind = Kind::kGoodbye;
@@ -55,7 +61,13 @@ struct ServerMessage {
   EngineWave wave;
   std::uint64_t bytes = 0;
   std::string text;
+  std::uint8_t protocol_version = kProtocolVersion;  // kHelloOk only
 };
+
+/// Stable names for logs and error frames — rushlint D8 sync sites, so a
+/// new message kind cannot ship without a name.
+const char* client_kind_name(ClientMessage::Kind kind);
+const char* server_kind_name(ServerMessage::Kind kind);
 
 /// Encodes a message as a complete frame (length prefix included).
 std::string encode_frame(const ClientMessage& message);

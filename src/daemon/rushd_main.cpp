@@ -102,6 +102,7 @@ int listen_unix(const std::string& path) {
     std::exit(2);
   }
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  // rushlint: raw-memory-ok(sockaddr cast required by the BSD socket API; no wire bytes)
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd, 1) != 0) {
     std::perror("rushd: bind/listen");
@@ -120,8 +121,11 @@ int listen_tcp(int port) {
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
+  // rushlint: raw-memory-ok(sin_port is defined as network order by the socket API)
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  // rushlint: raw-memory-ok(s_addr is defined as network order by the socket API)
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  // rushlint: raw-memory-ok(sockaddr cast required by the BSD socket API; no wire bytes)
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd, 1) != 0) {
     std::perror("rushd: bind/listen");
@@ -180,6 +184,7 @@ int main(int argc, char** argv) {
       exit_code = 1;
       break;
     }
+    daemon.begin_session();
     FrameBuffer frames;
     std::vector<ServerMessage> responses;
     std::string body;
@@ -198,6 +203,12 @@ int main(int argc, char** argv) {
               client_alive = false;
               break;
             }
+          }
+          // A failed or missing handshake already got its typed error
+          // frame; the session is over.
+          if (!daemon.hello_done()) {
+            client_alive = false;
+            break;
           }
         }
       } catch (const InvalidInput& error) {

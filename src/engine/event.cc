@@ -4,6 +4,16 @@
 
 namespace rush {
 
+const char* event_kind_name(EngineEvent::Kind kind) {
+  switch (kind) {
+    case EngineEvent::Kind::kJobSubmitted: return "job-submitted";
+    case EngineEvent::Kind::kTaskFinished: return "task-finished";
+    case EngineEvent::Kind::kContainerFreed: return "container-freed";
+    case EngineEvent::Kind::kSnapshotRequested: return "snapshot-requested";
+  }
+  return "unknown";
+}
+
 EngineEvent make_job_submitted(Seconds time, JobId id, JobConfig job) {
   EngineEvent event;
   event.kind = EngineEvent::Kind::kJobSubmitted;
@@ -39,6 +49,7 @@ EngineEvent make_snapshot_requested(Seconds time) {
 }
 
 void serialize_job_config(const JobConfig& config, WireWriter& out) {
+  // rushlint-schema-owner: kProtocolVersion
   out.put_string(config.name);
   out.put_double(config.budget);
   out.put_double(config.priority);
@@ -70,6 +81,7 @@ JobConfig deserialize_job_config(WireReader& in) {
 }
 
 void serialize_event(const EngineEvent& event, WireWriter& out) {
+  // rushlint-schema-owner: kProtocolVersion
   out.put_u8(static_cast<std::uint8_t>(event.kind));
   out.put_double(event.time);
   switch (event.kind) {

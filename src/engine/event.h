@@ -29,6 +29,7 @@
 namespace rush {
 
 struct EngineEvent {
+  // rushlint-serialized-enum
   enum class Kind : std::uint8_t {
     kJobSubmitted = 1,
     kTaskFinished = 2,
@@ -54,6 +55,10 @@ struct EngineEvent {
   /// kContainerFreed: seconds of work lost to the failed attempt.
   Seconds wasted = 0.0;
 };
+
+/// Stable kind name for logs and diagnostics — a rushlint D8 sync site, so
+/// a new event kind cannot ship without a name.
+const char* event_kind_name(EngineEvent::Kind kind);
 
 EngineEvent make_job_submitted(Seconds time, JobId id, JobConfig job);
 EngineEvent make_task_finished(Seconds time, int container, Seconds runtime);

@@ -9,7 +9,10 @@ namespace {
 
 /// One record: u32 body length | body | u64 FNV-1a(body).
 void append_record(WireWriter& out, const EngineEvent& event) {
+  // rushlint-pair-reader: parse_records
+  // rushlint-schema-owner: kProtocolVersion
   WireWriter body;
+  // rushlint: wire-asym(the body is staged in a scratch writer before the length prefix)
   serialize_event(event, body);
   out.put_u32(static_cast<std::uint32_t>(body.buffer().size()));
   const std::uint64_t checksum = wire_fnv1a(body.buffer());
@@ -35,6 +38,7 @@ void EventLogWriter::append(const EngineEvent& event) {
 }
 
 std::string serialize_events(const std::vector<EngineEvent>& events) {
+  // rushlint-schema-owner: kProtocolVersion
   WireWriter out;
   for (const EngineEvent& event : events) append_record(out, event);
   return out.take();
@@ -54,6 +58,7 @@ std::vector<EngineEvent> parse_records(std::string_view bytes, bool allow_torn_t
       const std::uint64_t want = in.get_u64();
       require(wire_fnv1a(body) == want, context + ": record checksum mismatch");
       WireReader record(body);
+      // rushlint: wire-asym(the body is re-read from the checksummed record, after the tail)
       event = deserialize_event(record);
       record.expect_end(context.c_str());
     } catch (const InvalidInput&) {

@@ -16,6 +16,7 @@ double bin_width_for(double span, std::size_t bins) {
 }
 
 void put_prior(WireWriter& out, const EstimatorPrior& prior) {
+  // rushlint-schema-owner: kSchedulerStateVersion
   out.put_double(prior.mean_runtime);
   out.put_double(prior.stddev_runtime);
   out.put_u64(prior.min_samples);
@@ -30,6 +31,7 @@ EstimatorPrior get_prior(WireReader& in) {
 }
 
 void put_stats(WireWriter& out, const OnlineStats& stats) {
+  // rushlint-schema-owner: kSchedulerStateVersion
   out.put_u64(stats.count());
   out.put_double(stats.mean());
   out.put_double(stats.m2());
@@ -66,6 +68,7 @@ QuantizedPmf MeanTimeEstimator::remaining_demand(int remaining_tasks,
 }
 
 void MeanTimeEstimator::save_state(WireWriter& out) const {
+  // rushlint-schema-owner: kSchedulerStateVersion
   put_prior(out, prior_);
   put_stats(out, stats_);
 }
@@ -106,6 +109,7 @@ QuantizedPmf GaussianEstimator::remaining_demand(int remaining_tasks,
 }
 
 void GaussianEstimator::save_state(WireWriter& out) const {
+  // rushlint-schema-owner: kSchedulerStateVersion
   put_prior(out, prior_);
   put_stats(out, stats_);
 }
@@ -161,6 +165,7 @@ QuantizedPmf BootstrapEstimator::remaining_demand(int remaining_tasks,
 }
 
 void BootstrapEstimator::save_state(WireWriter& out) const {
+  // rushlint-schema-owner: kSchedulerStateVersion
   put_prior(out, prior_);
   out.put_u64(samples_.size());
   for (const Seconds s : samples_) out.put_double(s);
@@ -222,6 +227,7 @@ QuantizedPmf EwmaEstimator::remaining_demand(int remaining_tasks,
 }
 
 void EwmaEstimator::save_state(WireWriter& out) const {
+  // rushlint-schema-owner: kSchedulerStateVersion
   put_prior(out, prior_);
   out.put_double(alpha_);
   out.put_u64(count_);

@@ -47,6 +47,7 @@ Seconds PhaseAwareEstimator::mean_runtime(int remaining_maps,
 }
 
 void PhaseAwareEstimator::save_state(WireWriter& out) const {
+  // rushlint-schema-owner: kSchedulerStateVersion
   out.put_double(prior_.mean_runtime);
   out.put_double(prior_.stddev_runtime);
   out.put_u64(prior_.min_samples);

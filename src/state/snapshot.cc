@@ -41,6 +41,7 @@ std::string Snapshot::serialize() const {
     out.put_string(blob);
   }
   const std::uint64_t checksum = wire_fnv1a(out.buffer());
+  // rushlint: wire-asym(trailing checksum; the reader consumes it first, from the tail)
   out.put_u64(checksum);
   return out.take();
 }
@@ -50,6 +51,7 @@ Snapshot Snapshot::parse(std::string_view bytes) {
   // The trailing u64 checks everything before it.
   const std::string_view payload = bytes.substr(0, bytes.size() - 8);
   WireReader tail(bytes.substr(bytes.size() - 8));
+  // rushlint: wire-asym(trailing checksum; read out of line-order via the 8-byte tail)
   const std::uint64_t want = tail.get_u64();
   require(wire_fnv1a(payload) == want, "Snapshot::parse: checksum mismatch");
 

@@ -95,6 +95,21 @@ void run_reference(Reference& out) {
   ASSERT_TRUE(out.result.completed);
 }
 
+/// Opens a daemon session: kHello must precede every other message, and a
+/// matching version earns exactly one kHelloOk.
+void open_session(RushDaemon& daemon) {
+  daemon.begin_session();
+  ClientMessage hello;
+  hello.kind = ClientMessage::Kind::kHello;
+  hello.protocol_version = kProtocolVersion;
+  std::vector<ServerMessage> responses;
+  daemon.handle(hello, /*now=*/0.0, responses);
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_EQ(responses[0].kind, ServerMessage::Kind::kHelloOk);
+  EXPECT_EQ(responses[0].protocol_version, kProtocolVersion);
+  ASSERT_TRUE(daemon.hello_done());
+}
+
 ClientMessage to_client_message(const EngineEvent& event) {
   ClientMessage message;
   message.time = event.time;
@@ -195,6 +210,7 @@ TEST(DaemonSession, RecordedSessionReplaysByteIdenticalToSimulator) {
   RushDaemon daemon(config);
   EXPECT_EQ(daemon.recover(), 0u);  // nothing on disk yet
   daemon.start_logging();
+  open_session(daemon);
 
   std::size_t accepted_jobs = 0;
   std::size_t waves_streamed = 0;
@@ -250,6 +266,7 @@ TEST(DaemonSession, CrashAfterSnapshotRecoversAndFinishesBitIdentically) {
     RushDaemon daemon(config);
     daemon.recover();
     daemon.start_logging();
+    open_session(daemon);
     std::vector<ServerMessage> responses;
     for (std::size_t i = 0; i < cut; ++i) {
       daemon.handle(to_client_message(events[i]), 0.0, responses);
@@ -272,6 +289,7 @@ TEST(DaemonSession, CrashAfterSnapshotRecoversAndFinishesBitIdentically) {
   RushDaemon daemon(config);
   EXPECT_EQ(daemon.recover(), 0u);  // snapshot marker is the last WAL record
   daemon.start_logging();
+  open_session(daemon);
   std::vector<ServerMessage> responses;
   for (std::size_t i = cut; i < events.size(); ++i) {
     responses.clear();
@@ -395,6 +413,7 @@ TEST(DaemonSession, TimeRegressionAndPostShutdownAreRejected) {
   RushDaemon daemon(config);
   daemon.recover();
   daemon.start_logging();
+  open_session(daemon);
 
   JobConfig job;
   job.name = "guard";
@@ -442,6 +461,100 @@ TEST(DaemonSession, TimeRegressionAndPostShutdownAreRejected) {
   daemon.handle(submit, 0.0, responses);
   ASSERT_EQ(responses.size(), 1u);
   EXPECT_EQ(responses[0].kind, ServerMessage::Kind::kError);
+}
+
+// ---------- 5. handshake ----------
+
+TEST(DaemonHandshake, EventsBeforeHelloAreRejected) {
+  DaemonConfig config;
+  config.capacity = 6;
+  config.client_time = true;
+  RushDaemon daemon(config);
+  daemon.recover();
+  daemon.start_logging();
+  daemon.begin_session();
+
+  ClientMessage submit;
+  submit.kind = ClientMessage::Kind::kSubmitJob;
+  submit.time = 1.0;
+  submit.job.name = "early";
+  submit.job.maps = 1;
+  submit.job.task_seconds = 5.0;
+  submit.job.budget = 50.0;
+  std::vector<ServerMessage> responses;
+  daemon.handle(submit, 0.0, responses);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].kind, ServerMessage::Kind::kError);
+  EXPECT_NE(responses[0].text.find("handshake required"), std::string::npos)
+      << responses[0].text;
+  EXPECT_FALSE(daemon.hello_done());  // transport drops this client
+  EXPECT_EQ(daemon.engine().jobs_submitted(), 0u);  // engine untouched
+
+  // A compliant session on the same daemon still works afterwards.
+  open_session(daemon);
+  responses.clear();
+  daemon.handle(submit, 0.0, responses);
+  ASSERT_FALSE(responses.empty());
+  EXPECT_EQ(responses[0].kind, ServerMessage::Kind::kJobAccepted);
+}
+
+TEST(DaemonHandshake, VersionMismatchIsRefused) {
+  DaemonConfig config;
+  config.capacity = 6;
+  config.client_time = true;
+  RushDaemon daemon(config);
+  daemon.recover();
+  daemon.start_logging();
+  daemon.begin_session();
+
+  ClientMessage hello;
+  hello.kind = ClientMessage::Kind::kHello;
+  hello.protocol_version = kProtocolVersion + 1;
+  std::vector<ServerMessage> responses;
+  daemon.handle(hello, 0.0, responses);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].kind, ServerMessage::Kind::kError);
+  EXPECT_NE(responses[0].text.find("protocol version mismatch"), std::string::npos)
+      << responses[0].text;
+  EXPECT_FALSE(daemon.hello_done());
+}
+
+TEST(DaemonHandshake, HelloFrameRoundTripsAndReopensSessions) {
+  // The hello body survives encode -> frame -> decode with its version byte.
+  ClientMessage hello;
+  hello.kind = ClientMessage::Kind::kHello;
+  hello.time = 3.0;
+  hello.protocol_version = kProtocolVersion;
+  FrameBuffer buffer;
+  buffer.feed(encode_frame(hello));
+  std::string body;
+  ASSERT_TRUE(buffer.next(body));
+  const ClientMessage decoded = decode_client_message(body);
+  EXPECT_EQ(decoded.kind, ClientMessage::Kind::kHello);
+  EXPECT_EQ(decoded.protocol_version, kProtocolVersion);
+
+  ServerMessage ok;
+  ok.kind = ServerMessage::Kind::kHelloOk;
+  ok.time = 3.0;
+  ok.protocol_version = kProtocolVersion;
+  buffer.feed(encode_frame(ok));
+  ASSERT_TRUE(buffer.next(body));
+  const ServerMessage decoded_ok = decode_server_message(body);
+  EXPECT_EQ(decoded_ok.kind, ServerMessage::Kind::kHelloOk);
+  EXPECT_EQ(decoded_ok.protocol_version, kProtocolVersion);
+
+  // begin_session() resets the gate per connection without touching state.
+  DaemonConfig config;
+  config.capacity = 6;
+  config.client_time = true;
+  RushDaemon daemon(config);
+  daemon.recover();
+  daemon.start_logging();
+  open_session(daemon);
+  EXPECT_TRUE(daemon.hello_done());
+  daemon.begin_session();  // next client connects
+  EXPECT_FALSE(daemon.hello_done());
+  open_session(daemon);
 }
 
 }  // namespace

@@ -1,0 +1,270 @@
+// Malformed-input tests for the whole persistence/protocol surface: the
+// wire primitives, rushd frames, the write-ahead event log and snapshot
+// files.  Every case feeds deliberately broken bytes and expects a typed
+// InvalidInput — never a crash, an over-read or a silent misparse.  These
+// are table-driven siblings of rushlint's static D7–D10 rules: the linter
+// proves writers and readers agree, these prove the readers survive bytes
+// no writer produced.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/wire.h"
+#include "src/daemon/protocol.h"
+#include "src/engine/event.h"
+#include "src/engine/event_log.h"
+#include "src/state/snapshot.h"
+
+namespace rush {
+namespace {
+
+// ---------- wire primitives ----------
+
+TEST(WireFuzzish, TruncatedPrimitivesThrowInsteadOfOverReading) {
+  const struct {
+    const char* name;
+    std::size_t bytes_available;
+    void (*read)(WireReader&);
+  } rows[] = {
+      {"u8 from empty", 0, [](WireReader& in) { in.get_u8(); }},
+      {"u32 from 3 bytes", 3, [](WireReader& in) { in.get_u32(); }},
+      {"u64 from 7 bytes", 7, [](WireReader& in) { in.get_u64(); }},
+      {"i64 from 1 byte", 1, [](WireReader& in) { in.get_i64(); }},
+      {"double from 4 bytes", 4, [](WireReader& in) { in.get_double(); }},
+      {"16 raw bytes from 5", 5, [](WireReader& in) { in.get_bytes(16); }},
+  };
+  for (const auto& row : rows) {
+    const std::string bytes(row.bytes_available, '\x41');
+    WireReader in(bytes);
+    EXPECT_THROW(row.read(in), InvalidInput) << row.name;
+  }
+}
+
+TEST(WireFuzzish, StringLengthPrefixBeyondBufferThrows) {
+  WireWriter out;
+  out.put_u32(0xFFFFFFFFu);  // announces a ~4 GiB string
+  out.put_raw("abc");
+  WireReader in(out.buffer());
+  EXPECT_THROW(in.get_string(), InvalidInput);
+}
+
+TEST(WireFuzzish, AbsurdElementCountIsRejectedBeforeAnyReserve) {
+  WireWriter out;
+  out.put_u64(1ull << 40);  // a trillion "elements" in a 16-byte buffer
+  out.put_u64(7);
+  WireReader in(out.buffer());
+  EXPECT_THROW(in.get_count(8, "fuzzish: element count"), InvalidInput);
+
+  // A count the remaining bytes can actually back is returned unchanged.
+  WireWriter ok;
+  ok.put_u64(2);
+  ok.put_double(1.0);
+  ok.put_double(2.0);
+  WireReader in_ok(ok.buffer());
+  EXPECT_EQ(in_ok.get_count(8, "fuzzish: element count"), 2u);
+}
+
+TEST(WireFuzzish, LeftoverBytesFailExpectEnd) {
+  WireWriter out;
+  out.put_u32(5);
+  out.put_u8(9);  // one byte too many
+  WireReader in(out.buffer());
+  (void)in.get_u32();
+  EXPECT_THROW(in.expect_end("fuzzish: trailing bytes"), InvalidInput);
+}
+
+// ---------- rushd frames ----------
+
+/// A syntactically complete frame body with the given leading kind byte.
+std::string body_with_kind(std::uint8_t kind) {
+  WireWriter body;
+  body.put_u8(kind);
+  body.put_double(1.0);
+  return body.take();
+}
+
+TEST(WireFuzzish, MalformedClientBodiesThrowTyped) {
+  const struct {
+    const char* name;
+    std::string body;
+  } rows[] = {
+      {"empty body", std::string()},
+      {"kind 0 is reserved", body_with_kind(0)},
+      {"kind 7 is unassigned", body_with_kind(7)},
+      {"kind 255", body_with_kind(255)},
+      {"submit truncated after time",
+       body_with_kind(static_cast<std::uint8_t>(ClientMessage::Kind::kSubmitJob))},
+      {"hello missing its version byte",
+       body_with_kind(static_cast<std::uint8_t>(ClientMessage::Kind::kHello))},
+      {"shutdown with trailing garbage",
+       body_with_kind(static_cast<std::uint8_t>(ClientMessage::Kind::kShutdown)) +
+           "xx"},
+  };
+  for (const auto& row : rows) {
+    EXPECT_THROW(decode_client_message(row.body), InvalidInput) << row.name;
+  }
+}
+
+TEST(WireFuzzish, MalformedServerBodiesThrowTyped) {
+  const struct {
+    const char* name;
+    std::string body;
+  } rows[] = {
+      {"empty body", std::string()},
+      {"kind 0 is reserved", body_with_kind(0)},
+      {"kind 7 is unassigned", body_with_kind(7)},
+      {"goodbye with trailing garbage",
+       body_with_kind(static_cast<std::uint8_t>(ServerMessage::Kind::kGoodbye)) +
+           "x"},
+      {"error text truncated mid-string", [] {
+         WireWriter body;
+         body.put_u8(static_cast<std::uint8_t>(ServerMessage::Kind::kError));
+         body.put_double(1.0);
+         body.put_u32(64);  // string announces 64 bytes...
+         body.put_raw("short");  // ...carries 5
+         return body.take();
+       }()},
+  };
+  for (const auto& row : rows) {
+    EXPECT_THROW(decode_server_message(row.body), InvalidInput) << row.name;
+  }
+}
+
+TEST(WireFuzzish, WaveWithAbsurdAssignmentCountIsRejected) {
+  WireWriter body;
+  body.put_u8(static_cast<std::uint8_t>(ServerMessage::Kind::kWave));
+  body.put_double(1.0);   // message time
+  body.put_double(1.0);   // wave.now
+  body.put_i64(0);        // index
+  body.put_i64(4);        // free_before
+  body.put_i64(4);        // free_after
+  body.put_u64(1ull << 32);  // assignment count no buffer could back
+  EXPECT_THROW(decode_server_message(body.buffer()), InvalidInput);
+}
+
+TEST(WireFuzzish, FrameBufferRejectsOversizedAndHoldsPartialFrames) {
+  FrameBuffer oversized;
+  WireWriter header;
+  header.put_u32(FrameBuffer::kMaxFrameBytes + 1);
+  oversized.feed(header.buffer());
+  std::string body;
+  EXPECT_THROW(oversized.next(body), InvalidInput);
+
+  // A truthful header with missing payload bytes is not an error — the
+  // buffer just waits for the rest of the stream.
+  FrameBuffer partial;
+  WireWriter announce;
+  announce.put_u32(10);
+  partial.feed(announce.buffer());
+  partial.feed("12345");  // 5 of 10 payload bytes
+  EXPECT_FALSE(partial.next(body));
+  partial.feed("67890");
+  ASSERT_TRUE(partial.next(body));
+  EXPECT_EQ(body, "1234567890");
+}
+
+// ---------- engine events and the WAL ----------
+
+TEST(WireFuzzish, UnknownEventKindByteThrows) {
+  for (const std::uint8_t kind : {std::uint8_t{0}, std::uint8_t{5},
+                                  std::uint8_t{200}}) {
+    WireWriter out;
+    out.put_u8(kind);
+    out.put_double(3.0);
+    WireReader in(out.buffer());
+    EXPECT_THROW(deserialize_event(in), InvalidInput)
+        << "kind byte " << static_cast<int>(kind);
+  }
+}
+
+TEST(WireFuzzish, EventKindNamesStayInSync) {
+  EXPECT_STREQ(event_kind_name(EngineEvent::Kind::kJobSubmitted), "job-submitted");
+  EXPECT_STREQ(event_kind_name(EngineEvent::Kind::kTaskFinished), "task-finished");
+  EXPECT_STREQ(event_kind_name(EngineEvent::Kind::kContainerFreed),
+               "container-freed");
+  EXPECT_STREQ(event_kind_name(EngineEvent::Kind::kSnapshotRequested),
+               "snapshot-requested");
+}
+
+std::vector<EngineEvent> two_event_log_events() {
+  std::vector<EngineEvent> events;
+  events.push_back(make_task_finished(1.0, 2, 9.5));
+  events.push_back(make_container_freed(2.0, 2, 0.5));
+  return events;
+}
+
+TEST(WireFuzzish, CorruptedLogRecordFailsItsChecksum) {
+  std::string bytes = serialize_events(two_event_log_events());
+  ASSERT_GT(bytes.size(), 8u);
+  bytes[6] ^= 0x01;  // flip one payload bit in the first record
+  EXPECT_THROW(deserialize_events(bytes), InvalidInput);
+}
+
+TEST(WireFuzzish, TruncatedLogTailIsCorruptionUnlessTornTailAllowed) {
+  const std::string bytes = serialize_events(two_event_log_events());
+  const std::string torn = bytes.substr(0, bytes.size() - 5);
+  // Strict parse: corruption.
+  EXPECT_THROW(deserialize_events(torn), InvalidInput);
+
+  // Crash-recovery parse: the torn final record is dropped, the rest loads.
+  const std::string path = ::testing::TempDir() + "/fuzzish_torn.evlog";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(torn.data(), static_cast<std::streamsize>(torn.size()));
+  }
+  const std::vector<EngineEvent> recovered =
+      read_event_log(path, /*allow_torn_tail=*/true);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].kind, EngineEvent::Kind::kTaskFinished);
+  std::remove(path.c_str());
+}
+
+// ---------- snapshot files ----------
+
+std::string valid_snapshot_bytes() {
+  Snapshot snapshot;
+  snapshot.set("engine", "state-bytes");
+  snapshot.set("scheduler", "more-state");
+  return snapshot.serialize();
+}
+
+TEST(WireFuzzish, DamagedSnapshotsAreRejectedTyped) {
+  const std::string good = valid_snapshot_bytes();
+  // Round-trip control: the undamaged bytes parse.
+  EXPECT_EQ(Snapshot::parse(good).section_names().size(), 2u);
+
+  const struct {
+    const char* name;
+    std::string bytes;
+  } rows[] = {
+      {"empty file", std::string()},
+      {"shorter than any header", std::string("RUSH", 4)},
+      {"bad magic", [&] {
+         std::string bytes = good;
+         bytes[0] = 'X';
+         return bytes;
+       }()},
+      {"unknown format version", [&] {
+         std::string bytes = good;
+         bytes[8] = '\x7f';  // version u32 follows the 8 magic bytes
+         return bytes;
+       }()},
+      {"flipped payload bit fails the checksum", [&] {
+         std::string bytes = good;
+         bytes[bytes.size() / 2] ^= 0x10;
+         return bytes;
+       }()},
+      {"truncated mid-section", good.substr(0, good.size() - 12)},
+  };
+  for (const auto& row : rows) {
+    EXPECT_THROW(Snapshot::parse(row.bytes), InvalidInput) << row.name;
+  }
+}
+
+}  // namespace
+}  // namespace rush

@@ -1,0 +1,7 @@
+// D10 negative: an OS-ABI call site inside the scope suppresses with a
+// reason — the socket API's struct casts are not wire serialization.
+// rushlint-fixture-path: src/daemon/probe_transport.cc
+int bind_probe(int fd, void* addr, unsigned len) {
+  // rushlint: raw-memory-ok(sockaddr cast required by the BSD socket API)
+  return do_bind(fd, reinterpret_cast<sockaddr*>(addr), len);
+}

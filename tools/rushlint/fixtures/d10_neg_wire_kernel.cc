@@ -1,0 +1,8 @@
+// D10 negative: src/common/wire.cc is the one sanctioned byte-twiddling
+// kernel — everything else goes through its typed primitives.
+// rushlint-fixture-path: src/common/wire.cc
+double decode_sample(const unsigned char* bytes) {
+  double value;
+  memcpy(&value, bytes, sizeof(value));
+  return value;
+}

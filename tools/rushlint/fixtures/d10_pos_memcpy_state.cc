@@ -1,0 +1,8 @@
+// D10 positive: raw-memory byte punning inside the persistence scope —
+// host-endian memcpy breaks the portable wire encoding.
+// rushlint-fixture-path: src/state/probe_cache.cc
+double decode_sample(const unsigned char* bytes) {
+  double value;
+  memcpy(&value, bytes, sizeof(value));
+  return value;
+}

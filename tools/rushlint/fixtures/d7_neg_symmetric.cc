@@ -1,0 +1,33 @@
+// D7 negative: writer and reader move in lockstep, including through the
+// shared header helpers — calls to pair members compare by writer base.
+struct Header {
+  unsigned version;
+  unsigned long long length;
+};
+struct Block {
+  Header header;
+};
+
+void put_header(const Header& h, WireWriter& out) {
+  out.put_u32(h.version);
+  out.put_u64(h.length);
+}
+
+Header get_header(WireReader& in) {
+  Header h;
+  h.version = in.get_u32();
+  h.length = in.get_u64();
+  return h;
+}
+
+void serialize_block(const Block& b, WireWriter& out) {
+  put_header(b.header, out);
+  out.put_string(b.payload);
+}
+
+Block deserialize_block(WireReader& in) {
+  Block b;
+  b.header = get_header(in);
+  b.payload = in.get_string();
+  return b;
+}

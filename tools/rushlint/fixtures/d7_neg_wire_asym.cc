@@ -1,0 +1,23 @@
+// D7 negative: the trailing checksum is deliberately read first, from the
+// tail of the buffer — each side drops its non-linear op with wire-asym.
+struct Ledger {
+  unsigned entries;
+  double total;
+  unsigned long long checksum;
+};
+
+void serialize_ledger(const Ledger& l, WireWriter& out) {
+  out.put_u32(l.entries);
+  out.put_double(l.total);
+  // rushlint: wire-asym(trailing checksum; the reader consumes it first)
+  out.put_u64(l.checksum);
+}
+
+Ledger deserialize_ledger(WireReader& in, WireReader& tail) {
+  Ledger l;
+  // rushlint: wire-asym(checksum first, from the 8-byte tail)
+  l.checksum = tail.get_u64();
+  l.entries = in.get_u32();
+  l.total = in.get_double();
+  return l;
+}

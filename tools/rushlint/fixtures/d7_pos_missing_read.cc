@@ -1,0 +1,20 @@
+// D7 positive: the writer emits a flags byte the reader never consumes —
+// every later field of the stream is silently misparsed.
+struct Probe {
+  unsigned id;
+  unsigned char flags;
+  double score;
+};
+
+void serialize_probe(const Probe& p, WireWriter& out) {
+  out.put_u32(p.id);
+  out.put_u8(p.flags);
+  out.put_double(p.score);
+}
+
+Probe deserialize_probe(WireReader& in) {
+  Probe p;
+  p.id = in.get_u32();
+  p.score = in.get_double();
+  return p;
+}

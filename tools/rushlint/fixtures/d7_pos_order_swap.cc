@@ -1,0 +1,18 @@
+// D7 positive: both sides carry the same fields but in different order —
+// byte-compatible by accident never, misparse always.
+struct Sample {
+  double value;
+  long long weight;
+};
+
+void serialize_sample(const Sample& s, WireWriter& out) {
+  out.put_double(s.value);
+  out.put_i64(s.weight);
+}
+
+Sample deserialize_sample(WireReader& in) {
+  Sample s;
+  s.weight = in.get_i64();
+  s.value = in.get_double();
+  return s;
+}

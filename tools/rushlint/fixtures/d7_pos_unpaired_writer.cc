@@ -1,0 +1,9 @@
+// D7 positive: a serializer with no deserializer — the bytes it writes can
+// never be read back, so the persistence path is write-only by mistake.
+struct Orphan {
+  unsigned id;
+};
+
+void serialize_orphan(const Orphan& o, WireWriter& out) {
+  out.put_u32(o.id);
+}

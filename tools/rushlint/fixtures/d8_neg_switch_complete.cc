@@ -1,0 +1,18 @@
+// D8 negative: the dispatch switch names every enumerator of the
+// serialized enum — fully in sync, nothing to report.
+struct Record {
+  // rushlint-serialized-enum
+  enum class Kind : unsigned char { kAlpha = 1, kBeta = 2, kGamma = 3 };
+};
+
+int dispatch(Record::Kind kind) {
+  switch (kind) {
+    case Record::Kind::kAlpha:
+      return 1;
+    case Record::Kind::kBeta:
+      return 2;
+    case Record::Kind::kGamma:
+      return 3;
+  }
+  return 0;
+}

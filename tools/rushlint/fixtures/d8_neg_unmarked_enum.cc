@@ -1,0 +1,14 @@
+// D8 negative: an ordinary (never serialized) enum may have partial
+// switches — only marked enums carry the sync obligation.
+struct Widget {
+  enum class Kind : unsigned char { kRound = 1, kSquare = 2, kHex = 3 };
+};
+
+int area_class(Widget::Kind kind) {
+  switch (kind) {
+    case Widget::Kind::kRound:
+      return 1;
+    default:
+      return 0;
+  }
+}

@@ -1,0 +1,15 @@
+// D8 positive: a name table marked as an enum site omits a kind — logs
+// would print garbage for it, and nobody would notice at compile time.
+struct Frame {
+  // rushlint-serialized-enum
+  enum class Kind : unsigned char { kOpen = 1, kData = 2, kClose = 3 };
+};
+
+// rushlint-enum-site: Frame::Kind frame kind table
+int frame_kind_table() {
+  const int table[] = {
+      static_cast<int>(Frame::Kind::kOpen),
+      static_cast<int>(Frame::Kind::kData),
+  };
+  return static_cast<int>(sizeof(table));
+}

@@ -1,0 +1,17 @@
+// D8 positive: a serialized enum's dispatch switch misses a kind — the
+// default: arm does not keep new kinds in sync.
+struct Record {
+  // rushlint-serialized-enum
+  enum class Kind : unsigned char { kAlpha = 1, kBeta = 2, kGamma = 3 };
+};
+
+int dispatch(Record::Kind kind) {
+  switch (kind) {
+    case Record::Kind::kAlpha:
+      return 1;
+    case Record::Kind::kBeta:
+      return 2;
+    default:
+      return 0;
+  }
+}

@@ -1,0 +1,23 @@
+// D9 negative: layout, owner and version all match the committed
+// fingerprint — the ratchet stays quiet.
+// rushlint-schema-expect: serialize_probe->deserialize_probe kProbeVersion=1 u8,u32,double
+constexpr unsigned char kProbeVersion = 1;
+
+struct Probe {
+  unsigned id;
+  double score;
+};
+
+void serialize_probe(const Probe& p, WireWriter& out) {
+  out.put_u8(kProbeVersion);
+  out.put_u32(p.id);
+  out.put_double(p.score);
+}
+
+Probe deserialize_probe(WireReader& in) {
+  Probe p;
+  p.version = in.get_u8();
+  p.id = in.get_u32();
+  p.score = in.get_double();
+  return p;
+}
